@@ -1,0 +1,84 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic reproduction dataset and prints them as ASCII artifacts.
+//
+// Usage:
+//
+//	experiments            # run everything, paper order
+//	experiments -run F8a   # one artifact (T1 T2 F2 T3 T4 T5 F8a F8b T6 F9 F10 X1 X2)
+//	experiments -list      # list artifact IDs
+//	experiments -seed 7    # change the dataset seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		run  = flag.String("run", "", "comma-separated experiment IDs (empty = all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		seed = flag.Int64("seed", 0, "dataset seed override (0 keeps the default)")
+		out  = flag.String("out", "", "directory to additionally write one <ID>.txt per artifact")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	p := experiments.DefaultParams()
+	if *seed != 0 {
+		p.Dataset.Seed = *seed
+	}
+
+	var reports []experiments.Report
+	if *run == "" {
+		var err error
+		reports, err = experiments.RunAll(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("unknown experiment %q (use -list)", id)
+			}
+			r, err := e.Run(p)
+			if err != nil {
+				log.Fatalf("%s: %v", e.ID, err)
+			}
+			reports = append(reports, r)
+		}
+	}
+	for _, r := range reports {
+		fmt.Printf("=== %s: %s ===\n%s\n", r.ID, r.Title, r.Text)
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
+			path := filepath.Join(*out, r.ID+".txt")
+			content := fmt.Sprintf("%s: %s\n\n%s", r.ID, r.Title, r.Text)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d artifacts to %s\n", len(reports), *out)
+	}
+}

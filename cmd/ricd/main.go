@@ -1,0 +1,221 @@
+// Command ricd runs the RICD "Ride Item's Coattails" attack detector on a
+// click table and prints the detected attack groups and the risk-ranked
+// suspicious users and items.
+//
+// Usage:
+//
+//	ricd -in clicks.csv [-k1 10] [-k2 10] [-alpha 1.0]
+//	     [-thot 0] [-tclick 0]         # 0 derives thresholds from the data
+//	     [-top 20] [-expect 0]         # expect triggers the feedback loop
+//	     [-seed-user id]... via comma list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	fakeclick "repro"
+	"repro/internal/baselines"
+	"repro/internal/clicktable"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ricd: ")
+
+	var (
+		in        = flag.String("in", "", "input click-table CSV (required)")
+		k1        = flag.Int("k1", 10, "minimum users per attack group")
+		k2        = flag.Int("k2", 10, "minimum items per attack group")
+		alpha     = flag.Float64("alpha", 1.0, "extension tolerance α in (0,1]")
+		thot      = flag.Uint64("thot", 0, "hot-item threshold (0 = derive from data)")
+		tclick    = flag.Uint("tclick", 0, "abnormal-click threshold (0 = derive via Eq 4)")
+		top       = flag.Int("top", 20, "how many ranked users/items to print")
+		expect    = flag.Int("expect", 0, "expected output node count; > 0 enables the feedback loop")
+		rounds    = flag.Int("rounds", 6, "max feedback-loop rounds")
+		seedUsers = flag.String("seed-users", "", "comma-separated known abnormal user IDs")
+		seedItems = flag.String("seed-items", "", "comma-separated known abnormal item IDs")
+		raw       = flag.Bool("raw", false, "skip the screening module (RICD-UI)")
+		labels    = flag.String("labels", "", "ground-truth label CSV; prints precision/recall/F1 when set")
+		explain   = flag.Int("explain", 0, "print the evidence trail for the N most suspicious groups")
+		algo      = flag.String("algo", "", "run a registry detector instead of RICD (see -list-algos); +UI screening applied")
+		listAlgos = flag.Bool("list-algos", false, "list available detectors and exit")
+	)
+	flag.Parse()
+	if *listAlgos {
+		for _, name := range baselines.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *in == "" {
+		flag.Usage()
+		log.Fatal("missing -in")
+	}
+	if *algo != "" && !strings.EqualFold(*algo, "ricd") {
+		runAlgo(*algo, *in, *labels, *k1, *k2, *alpha, *thot, uint32(*tclick))
+		return
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := fakeclick.NewGraph()
+	if err := g.LoadCSV(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("loaded %s: %d users, %d items, %d edges, %d clicks\n",
+		*in, g.NumUsers(), g.NumItems(), g.NumEdges(), g.TotalClicks())
+
+	cfg := fakeclick.Config{
+		K1:            *k1,
+		K2:            *k2,
+		Alpha:         *alpha,
+		THot:          *thot,
+		TClick:        uint32(*tclick),
+		SkipScreening: *raw,
+	}
+	var parseErr error
+	cfg.SeedUsers, parseErr = parseIDs(*seedUsers)
+	if parseErr != nil {
+		log.Fatalf("-seed-users: %v", parseErr)
+	}
+	cfg.SeedItems, parseErr = parseIDs(*seedItems)
+	if parseErr != nil {
+		log.Fatalf("-seed-items: %v", parseErr)
+	}
+
+	var rep *fakeclick.Report
+	if *expect > 0 {
+		rep, err = fakeclick.DetectWithExpectation(g, cfg, *expect, *rounds)
+	} else {
+		rep, err = fakeclick.Detect(g, cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("detection finished in %v (T_hot=%d, T_click=%d)\n",
+		rep.Elapsed, rep.THot, rep.TClick)
+	fmt.Printf("found %d attack groups, %d suspicious users, %d suspicious items\n",
+		len(rep.Groups), len(rep.Users), len(rep.Items))
+	for i, grp := range rep.Groups {
+		fmt.Printf("  group %d: %d users, %d items, risk %.2f, density %.2f, "+
+			"mean edge clicks %.1f, organic share %.0f%%\n",
+			i+1, len(grp.Users), len(grp.Items), grp.Score,
+			grp.Density, grp.MeanEdgeClicks, 100*grp.OutsideShare)
+	}
+
+	printRanked := func(label string, nodes []fakeclick.RankedNode) {
+		if len(nodes) == 0 {
+			return
+		}
+		fmt.Printf("top %d %s by risk score:\n", len(nodes), label)
+		for _, n := range nodes {
+			fmt.Printf("  %-10d %.2f\n", n.ID, n.Score)
+		}
+	}
+	printRanked("users", rep.TopUsers(*top))
+	printRanked("items", rep.TopItems(*top))
+
+	for i := 0; i < *explain && i < len(rep.Groups); i++ {
+		text, err := fakeclick.Explain(g, rep, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- evidence for group %d ---\n%s", i+1, text)
+	}
+
+	if *labels != "" {
+		lf, err := os.Open(*labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, _, err := synth.ReadLabels(lf)
+		lf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := metrics.EvaluateNodes(rep.Users, rep.Items, truth)
+		fmt.Printf("against %s (%d labeled abnormal nodes): %v\n",
+			*labels, truth.NumAbnormal(), ev)
+	}
+}
+
+// runAlgo runs a registry detector (Fig 8 style: +UI screening unless the
+// algorithm embeds its own) on the click table and prints its groups plus
+// optional evaluation.
+func runAlgo(name, in, labelsPath string, k1, k2 int, alpha float64, thot uint64, tclick uint32) {
+	f, err := os.Open(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := clicktable.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := tbl.ToGraph()
+
+	p := core.DefaultParams()
+	p.K1, p.K2 = k1, k2
+	p.Alpha = alpha
+	if thot != 0 {
+		p.THot = thot
+	}
+	if tclick != 0 {
+		p.TClick = tclick
+	}
+
+	withUI := !strings.HasPrefix(strings.ToLower(name), "ricd")
+	d, err := baselines.New(name, p, withUI)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.Detect(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s finished in %v: %d groups, %d suspicious users, %d suspicious items\n",
+		d.Name(), res.Elapsed, len(res.Groups), len(res.Users()), len(res.Items()))
+	for i, grp := range res.Groups {
+		fmt.Printf("  group %d: %d users, %d items\n", i+1, len(grp.Users), len(grp.Items))
+	}
+	if labelsPath != "" {
+		lf, err := os.Open(labelsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, _, err := synth.ReadLabels(lf)
+		lf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("against %s: %v\n", labelsPath, metrics.Evaluate(res, truth))
+	}
+}
+
+func parseIDs(s string) ([]uint32, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []uint32
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad ID %q: %w", part, err)
+		}
+		out = append(out, uint32(id))
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+// Command synthgen generates a synthetic e-commerce click dataset with
+// implanted "Ride Item's Coattails" attacks and writes the click table
+// (CSV), ground-truth labels, and attack-group descriptions.
+//
+// Usage:
+//
+//	synthgen -out clicks.csv -labels labels.csv [-scale default|small]
+//	         [-seed 1] [-users 20000] [-items 4000] [-groups 8]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/clicktable"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synthgen: ")
+
+	var (
+		out     = flag.String("out", "clicks.csv", "output CSV path for the click table")
+		labels  = flag.String("labels", "labels.csv", "output CSV path for ground-truth labels")
+		meta    = flag.String("meta", "", "optional output path for the JSON metadata sidecar")
+		events  = flag.String("events", "", "optional output path for a day-stamped event stream CSV")
+		days    = flag.Int("days", 6, "event-stream window length (with -events)")
+		scale   = flag.String("scale", "default", "base configuration: default (1:1000 of the paper) or small")
+		cfgPath = flag.String("config", "", "JSON config file overriding -scale entirely")
+		seed    = flag.Int64("seed", 0, "random seed (0 keeps the configuration default)")
+		users   = flag.Int("users", 0, "override the number of normal users")
+		items   = flag.Int("items", 0, "override the number of normal items")
+		groups  = flag.Int("groups", -1, "override the number of attack groups")
+	)
+	flag.Parse()
+
+	var cfg synth.Config
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err = synth.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		switch *scale {
+		case "default":
+			cfg = synth.DefaultConfig()
+		case "small":
+			cfg = synth.SmallConfig()
+		default:
+			log.Fatalf("unknown -scale %q (want default or small)", *scale)
+		}
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *users > 0 {
+		cfg.NumUsers = *users
+	}
+	if *items > 0 {
+		cfg.NumItems = *items
+	}
+	if *groups >= 0 {
+		cfg.Attack.Groups = *groups
+	}
+
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := writeTable(*out, ds.Table); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeLabels(*labels, ds); err != nil {
+		log.Fatal(err)
+	}
+	if *meta != "" {
+		if err := writeMetadata(*meta, ds); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *meta)
+	}
+	if *events != "" {
+		ecfg := synth.DefaultEventStreamConfig()
+		ecfg.Days = *days
+		if ecfg.AttackStartDay > ecfg.Days {
+			ecfg.AttackStartDay = ecfg.Days
+		}
+		evs, err := synth.EventStream(ds, ecfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeEvents(*events, evs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d events over %d days\n", *events, len(evs), ecfg.Days)
+	}
+
+	s := ds.Table.Scale()
+	fmt.Printf("wrote %s: %d users, %d items, %d edges, %d clicks\n",
+		*out, s.Users, s.Items, s.Edges, s.TotalClicks)
+	fmt.Printf("wrote %s: %d abnormal users, %d abnormal items in %d groups\n",
+		*labels, len(ds.Truth.Users), len(ds.Truth.Items), len(ds.Groups))
+}
+
+func writeTable(path string, tbl *clicktable.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := clicktable.WriteCSV(w, tbl); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeEvents(path string, events []synth.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := synth.WriteEvents(f, events); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetadata(path string, ds *synth.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := synth.SaveMetadata(f, synth.BuildMetadata(ds)); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeLabels(path string, ds *synth.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := synth.WriteLabels(w, ds); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

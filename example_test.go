@@ -1,0 +1,78 @@
+package fakeclick_test
+
+import (
+	"fmt"
+
+	fakeclick "repro"
+)
+
+// attackGraph builds a deterministic miniature marketplace: a hot item 0
+// with broad organic traffic, innocent items 1..9, and a planted attack —
+// accounts 100..111 click the hot item once each and hammer target items
+// 10..21 fourteen times each.
+func attackGraph() *fakeclick.Graph {
+	g := fakeclick.NewGraph()
+	// Organic traffic: 300 shoppers on the hot item, light tails on
+	// ordinary items.
+	for u := uint32(0); u < 300; u++ {
+		g.AddClicks(u, 0, 1+u%5)
+		g.AddClicks(u, 1+u%9, 1)
+	}
+	// The "Ride Item's Coattails" attack.
+	for a := uint32(100); a < 112; a++ {
+		g.AddClicks(a, 0, 1) // ride the hot item
+		for item := uint32(10); item < 22; item++ {
+			g.AddClicks(a, item, 14) // hammer the targets
+		}
+	}
+	return g
+}
+
+// ExampleDetect demonstrates end-to-end detection on a planted attack.
+func ExampleDetect() {
+	g := attackGraph()
+	cfg := fakeclick.DefaultConfig()
+	cfg.THot = 500 // the hot item has ~900 clicks
+	cfg.TClick = 12
+
+	report, err := fakeclick.Detect(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for i, grp := range report.Groups {
+		fmt.Printf("group %d: %d accounts, %d target items, density %.2f\n",
+			i+1, len(grp.Users), len(grp.Items), grp.Density)
+	}
+	fmt.Printf("top account: %d\n", report.TopUsers(1)[0].ID)
+	// Output:
+	// group 1: 12 accounts, 12 target items, density 1.00
+	// top account: 100
+}
+
+// ExampleRecommend shows the I2I manipulation the attack performs and how
+// cleaning the detected accounts reverses it.
+func ExampleRecommend() {
+	g := attackGraph()
+	cfg := fakeclick.DefaultConfig()
+	cfg.THot = 500
+	cfg.TClick = 12
+
+	before := fakeclick.Recommend(g, 0, 3)
+	report, _ := fakeclick.Detect(g, cfg)
+	after := fakeclick.Recommend(fakeclick.CleanClicks(g, report), 0, 3)
+
+	targetsIn := func(items []uint32) int {
+		n := 0
+		for _, v := range items {
+			if v >= 10 && v < 22 {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("targets in top-3 before cleaning: %d\n", targetsIn(before))
+	fmt.Printf("targets in top-3 after cleaning:  %d\n", targetsIn(after))
+	// Output:
+	// targets in top-3 before cleaning: 3
+	// targets in top-3 after cleaning:  0
+}

@@ -1,0 +1,109 @@
+// Adaptive adversary: the paper's strict attack model (Section III-A)
+// assumes attackers know exactly how RICD works. This example plays that
+// adversary: it sweeps the evasion knobs a crowd-work campaign controls —
+// crew size, per-target click intensity, participation discipline, and
+// camouflage volume — and reports, for each strategy, whether RICD catches
+// the group and how much recommendation exposure the attack bought. The
+// punchline is the paper's property (3): every strategy that stays invisible
+// also stays useless, because evading the (α,k₁,k₂)-biclique extraction
+// caps the fake co-click mass an attacker can place.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/i2i"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+type strategy struct {
+	name          string
+	attackers     int
+	targetClicks  int
+	participation float64
+	camoItems     int
+}
+
+func main() {
+	log.SetFlags(0)
+
+	strategies := []strategy{
+		{"textbook (paper-optimal)", 16, 16, 0.95, 3},
+		{"bigger crew", 30, 16, 0.95, 3},
+		{"lighter touch", 16, 8, 0.95, 3},
+		{"sloppy crew (low participation)", 16, 16, 0.55, 3},
+		{"tiny crew (below k1)", 7, 16, 0.95, 3},
+		{"camouflage heavy", 16, 16, 0.95, 20},
+		{"whisper attack (tiny + light)", 7, 6, 0.95, 3},
+		{"saturation (targets go hot)", 60, 18, 0.95, 3},
+	}
+
+	// T_hot is the operator's main defense against the saturation evasion
+	// of Fig 9e: set it above any plausible single-campaign fake-click
+	// mass. In this 2k-user marketplace that is ~800 clicks.
+	params := core.DefaultParams()
+	params.THot = 800
+
+	fmt.Printf("%-34s %8s %9s %9s %10s\n",
+		"strategy", "caught?", "recall", "precision", "exposure")
+	for _, s := range strategies {
+		caught, recall, precision, exposure := playStrategy(s, params)
+		caughtStr := "no"
+		if caught {
+			caughtStr = "YES"
+		}
+		fmt.Printf("%-34s %8s %9.2f %9.2f %9.1f%%\n",
+			s.name, caughtStr, recall, precision, 100*exposure)
+	}
+	fmt.Println("\nreading the table: every strategy that stays under RICD's radar had to")
+	fmt.Println("give up fake co-click mass — fewer workers, fewer clicks, or weaker")
+	fmt.Println("discipline (the Zarankiewicz cap of property 3). In this toy 2k-user")
+	fmt.Println("marketplace that reduced mass still hijacks slots, because the hot items'")
+	fmt.Println("organic co-click mass is thin; at Taobao scale the same capped budget")
+	fmt.Println("drowns in millions of organic co-clicks (Eq 1 dilution) and buys nothing.")
+	fmt.Println("The one exception, saturating targets past T_hot (the Fig 9e evasion),")
+	fmt.Println("demands so much fake mass that a brand-new item leaping into the hot")
+	fmt.Println("range is trivially caught by newness rules outside RICD.")
+}
+
+// playStrategy builds a marketplace with one attack group following the
+// strategy, runs RICD, and measures both detection and the attack's payoff
+// (share of the ridden hot items' top-10 slots captured by targets).
+func playStrategy(s strategy, params core.Params) (caught bool, recall, precision, exposure float64) {
+	cfg := synth.SmallConfig()
+	cfg.Attack.Groups = 1
+	cfg.Attack.CampaignGroups = 0
+	cfg.Attack.AttackersMin = s.attackers
+	cfg.Attack.AttackersMax = s.attackers
+	cfg.Attack.TargetClicksMin = s.targetClicks
+	cfg.Attack.TargetClicksMax = s.targetClicks + 4
+	cfg.Attack.Participation = s.participation
+	cfg.Attack.CamouflageItemsMin = s.camoItems
+	cfg.Attack.CamouflageItemsMax = s.camoItems
+
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := &core.Detector{Params: params}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	caught = len(res.Groups) > 0 && ev.Recall > 0.3
+
+	// Attack payoff: exposure of the targets in the ridden hot items'
+	// top-10 recommendation lists.
+	grp := ds.Groups[0]
+	targets := map[bipartite.NodeID]bool{}
+	for _, v := range grp.Targets {
+		targets[v] = true
+	}
+	e := i2i.TargetExposure(ds.Graph, grp.HotItems, targets, 10)
+	return caught, ev.Recall, ev.Precision, e.Share()
+}

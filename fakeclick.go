@@ -1,0 +1,349 @@
+// Package fakeclick detects large-scale fake click information — the
+// "Ride Item's Coattails" attack — in e-commerce user-item click logs. It
+// is the public facade of a from-scratch reproduction of:
+//
+//	Li, Li, Huang, Zhang, Wang, Lu, Zhou.
+//	"Large-scale Fake Click Detection for E-commerce Recommendation
+//	Systems", ICDE 2021.
+//
+// The attack forges co-clicks between popular ("hot") items and low-quality
+// target items so that item-to-item recommenders surface the targets next
+// to the hot items. The detector (RICD) models each attack group as a
+// dense near-biclique in the user-item click graph, extracts candidates
+// with the (α,k₁,k₂)-extension biclique pruning of the paper's Algorithm 3,
+// screens them with the user-behavior and item-behavior checks of
+// Section V-B, and ranks survivors by risk score.
+//
+// Quick start:
+//
+//	g := fakeclick.NewGraph()
+//	for _, r := range records {
+//	    g.AddClicks(r.UserID, r.ItemID, r.Clicks)
+//	}
+//	report, err := fakeclick.Detect(g, fakeclick.DefaultConfig())
+//	...
+//	for _, grp := range report.Groups { ... }
+package fakeclick
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/clicktable"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/i2i"
+)
+
+// Graph is a user-item click graph under construction or ready for
+// detection. User and item IDs are independent dense uint32 namespaces.
+type Graph struct {
+	builder *bipartite.Builder
+	built   *bipartite.Graph
+}
+
+// NewGraph returns an empty click graph.
+func NewGraph() *Graph {
+	return &Graph{builder: bipartite.NewBuilder(0, 0)}
+}
+
+// AddClicks records that user clicked item `clicks` times. Duplicate pairs
+// accumulate. Adding clicks after a Detect call is allowed; the graph is
+// rebuilt lazily.
+func (g *Graph) AddClicks(user, item uint32, clicks uint32) {
+	g.builder.Add(user, item, clicks)
+	g.built = nil
+}
+
+// LoadCSV ingests a click table in the repository's CSV interchange format
+// (header "user_id,item_id,click").
+func (g *Graph) LoadCSV(r io.Reader) error {
+	tbl, err := clicktable.ReadCSV(r)
+	if err != nil {
+		return fmt.Errorf("fakeclick: %w", err)
+	}
+	tbl.Each(func(rec clicktable.Record) bool {
+		g.builder.Add(rec.UserID, rec.ItemID, rec.Clicks)
+		return true
+	})
+	g.built = nil
+	return nil
+}
+
+// NumUsers returns the number of user IDs present (max ID + 1).
+func (g *Graph) NumUsers() int { return g.graph().NumUsers() }
+
+// NumItems returns the number of item IDs present (max ID + 1).
+func (g *Graph) NumItems() int { return g.graph().NumItems() }
+
+// NumEdges returns the number of distinct (user, item) click pairs.
+func (g *Graph) NumEdges() int { return g.graph().LiveEdges() }
+
+// TotalClicks returns the total click volume.
+func (g *Graph) TotalClicks() uint64 { return g.graph().LiveClicks() }
+
+func (g *Graph) graph() *bipartite.Graph {
+	if g.built == nil {
+		g.built = g.builder.Build()
+	}
+	return g.built
+}
+
+// Config are the detection parameters; the field semantics follow the
+// paper (see core.Params for the full documentation).
+type Config struct {
+	// K1 and K2 are the minimum users and items per attack group.
+	K1, K2 int
+	// Alpha is the near-biclique extension tolerance in (0, 1].
+	Alpha float64
+	// THot is the hot-item click threshold; 0 derives it from the data
+	// via the 80/20 rule of Section IV-A.
+	THot uint64
+	// TClick is the abnormal-click threshold; 0 derives it via Eq 4.
+	TClick uint32
+	// SkipScreening disables the suspicious-group screening module
+	// (the RICD-UI ablation).
+	SkipScreening bool
+	// SeedUsers and SeedItems optionally restrict detection to the
+	// neighborhoods of known-bad nodes.
+	SeedUsers []uint32
+	SeedItems []uint32
+	// Workers bounds the parallelism of the pruning stages; 0 uses
+	// GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the paper's experiment defaults with data-derived
+// thresholds.
+func DefaultConfig() Config {
+	return Config{K1: 10, K2: 10, Alpha: 1.0}
+}
+
+// Group is one detected attack group: suspicious users (crowd-worker
+// accounts) and suspicious items (attack targets), with a risk score and
+// the forensic statistics an analyst reviews before acting.
+type Group struct {
+	Users []uint32
+	Items []uint32
+	Score float64
+
+	// Density is in-group edges / (users × items); 1.0 is a perfect
+	// biclique.
+	Density float64
+	// MeanEdgeClicks is the average click weight of in-group edges —
+	// crowd workers hammer targets, so this runs far above the
+	// marketplace per-edge mean.
+	MeanEdgeClicks float64
+	// OutsideShare is the fraction of the group items' clicks coming
+	// from users outside the group (organic traffic).
+	OutsideShare float64
+}
+
+// RankedNode is a node with its identification-module risk score.
+type RankedNode struct {
+	ID    uint32
+	Score float64
+}
+
+// Report is a detection outcome.
+type Report struct {
+	// Groups are detected attack groups, most suspicious first.
+	Groups []Group
+	// Users and Items are the deduplicated suspicious node sets.
+	Users []uint32
+	Items []uint32
+	// RankedUsers and RankedItems order all suspicious nodes by risk
+	// score for top-k triage.
+	RankedUsers []RankedNode
+	RankedItems []RankedNode
+	// Elapsed is the end-to-end detection wall time.
+	Elapsed time.Duration
+	// THot and TClick are the thresholds actually used (data-derived
+	// when the config left them zero).
+	THot   uint64
+	TClick uint32
+}
+
+// Summary renders a one-paragraph human-readable digest of the report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "detected %d attack group(s): %d suspicious accounts, %d suspicious items "+
+		"(T_hot=%d, T_click=%d, %v)\n",
+		len(r.Groups), len(r.Users), len(r.Items), r.THot, r.TClick, r.Elapsed.Round(time.Millisecond))
+	for i, grp := range r.Groups {
+		fmt.Fprintf(&b, "  group %d: %d accounts × %d items, risk %.1f, density %.2f, "+
+			"mean edge clicks %.1f, organic share %.0f%%\n",
+			i+1, len(grp.Users), len(grp.Items), grp.Score,
+			grp.Density, grp.MeanEdgeClicks, 100*grp.OutsideShare)
+	}
+	return b.String()
+}
+
+// TopUsers returns the k highest-risk users.
+func (r *Report) TopUsers(k int) []RankedNode { return topK(r.RankedUsers, k) }
+
+// TopItems returns the k highest-risk items.
+func (r *Report) TopItems(k int) []RankedNode { return topK(r.RankedItems, k) }
+
+func topK(nodes []RankedNode, k int) []RankedNode {
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return nodes[:k]
+}
+
+// Detect runs the RICD framework on the graph.
+func Detect(g *Graph, cfg Config) (*Report, error) {
+	bg := g.graph()
+	params, err := resolveParams(bg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &core.Detector{Params: params, Seeds: detect.Seeds{
+		Users: cfg.SeedUsers,
+		Items: cfg.SeedItems,
+	}}
+	if cfg.SkipScreening {
+		d.Variant = core.VariantUI
+	}
+	res, err := d.Detect(bg)
+	if err != nil {
+		return nil, fmt.Errorf("fakeclick: %w", err)
+	}
+	return buildReport(bg, res, params), nil
+}
+
+// DetectWithExpectation runs Detect and, if the output is smaller than
+// expectedNodes, relaxes parameters with the feedback strategy of Fig 7
+// (up to maxRounds detection runs) until the expectation is met or every
+// knob reaches its floor.
+func DetectWithExpectation(g *Graph, cfg Config, expectedNodes, maxRounds int) (*Report, error) {
+	bg := g.graph()
+	params, err := resolveParams(bg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := core.DetectWithFeedback(bg, params, expectedNodes, maxRounds)
+	if err != nil {
+		return nil, fmt.Errorf("fakeclick: %w", err)
+	}
+	return buildReport(bg, fr.Result, fr.Params), nil
+}
+
+func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
+	params := core.DefaultParams()
+	params.K1, params.K2 = cfg.K1, cfg.K2
+	params.Alpha = cfg.Alpha
+	params.Workers = cfg.Workers
+	if cfg.THot != 0 || cfg.TClick != 0 {
+		params.THot = cfg.THot
+		params.TClick = cfg.TClick
+	}
+	if cfg.THot == 0 || cfg.TClick == 0 {
+		th := core.DeriveThresholds(bg)
+		if cfg.THot == 0 {
+			params.THot = th.THot
+		}
+		if cfg.TClick == 0 {
+			params.TClick = th.TClick
+		}
+	}
+	if err := params.Validate(); err != nil {
+		return params, fmt.Errorf("fakeclick: %w", err)
+	}
+	return params, nil
+}
+
+func buildReport(bg *bipartite.Graph, res *detect.Result, params core.Params) *Report {
+	rep := &Report{
+		Elapsed: res.Elapsed,
+		THot:    params.THot,
+		TClick:  params.TClick,
+		Users:   res.Users(),
+		Items:   res.Items(),
+	}
+	for _, grp := range res.Groups {
+		st := core.ComputeGroupStats(bg, grp)
+		rep.Groups = append(rep.Groups, Group{
+			Users:          grp.Users,
+			Items:          grp.Items,
+			Score:          grp.Score,
+			Density:        st.Density,
+			MeanEdgeClicks: st.MeanEdgeClicks,
+			OutsideShare:   st.OutsideShare,
+		})
+	}
+	ranking := core.RankResult(bg, res)
+	for _, n := range ranking.Users {
+		rep.RankedUsers = append(rep.RankedUsers, RankedNode{ID: n.ID, Score: n.Score})
+	}
+	for _, n := range ranking.Items {
+		rep.RankedItems = append(rep.RankedItems, RankedNode{ID: n.ID, Score: n.Score})
+	}
+	return rep
+}
+
+// Explain renders the evidence trail for one detected group (by index into
+// rep.Groups): block statistics, each account's hot-vs-target click
+// pattern, and each item's supporter-vs-organic profile. This is the
+// artifact a platform analyst reviews before punishing accounts.
+func Explain(g *Graph, rep *Report, group int) (string, error) {
+	if group < 0 || group >= len(rep.Groups) {
+		return "", fmt.Errorf("fakeclick: group index %d out of range [0,%d)", group, len(rep.Groups))
+	}
+	bg := g.graph()
+	params := core.DefaultParams()
+	params.THot = rep.THot
+	params.TClick = rep.TClick
+	hot := core.ComputeHotSet(bg, params.THot)
+	grp := detect.Group{Users: rep.Groups[group].Users, Items: rep.Groups[group].Items}
+	return core.ExplainGroup(bg, grp, hot, params), nil
+}
+
+// Recommend returns the top-k item-to-item recommendations for a user who
+// just clicked anchor — the I2I serving path (Eq 1) the attack manipulates.
+// Exposed so applications can inspect the attack's effect before and after
+// cleaning.
+func Recommend(g *Graph, anchor uint32, k int) []uint32 {
+	return i2i.Recommend(g.graph(), anchor, k)
+}
+
+// I2IScore returns the Eq 1 relevance score between anchor and candidate
+// (0 if they are never co-clicked).
+func I2IScore(g *Graph, anchor, candidate uint32) float64 {
+	for _, s := range i2i.Scores(g.graph(), anchor) {
+		if s.Item == candidate {
+			return s.Score
+		}
+	}
+	return 0
+}
+
+// CleanClicks returns a copy of the graph with every edge incident to the
+// reported suspicious users removed — the "clean the false click
+// information" step of the paper's case study (Section VII).
+func CleanClicks(g *Graph, rep *Report) *Graph {
+	sus := make(map[uint32]bool, len(rep.Users))
+	for _, u := range rep.Users {
+		sus[u] = true
+	}
+	out := NewGraph()
+	bg := g.graph()
+	bg.EachLiveUser(func(u bipartite.NodeID) bool {
+		if sus[u] {
+			return true
+		}
+		bg.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+			out.AddClicks(u, v, w)
+			return true
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,101 @@
+package catchsync
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func TestFlagsSynchronizedUsers(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d := DefaultDetector()
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	t.Logf("CATCHSYNC small: %v", ev)
+	// Crowd workers click near-identical fringe item sets: synchronicity
+	// must catch a solid share of them.
+	if ev.Recall < 0.3 {
+		t.Errorf("recall = %v, want ≥ 0.3", ev.Recall)
+	}
+}
+
+func TestCamouflageDegradesCatchSync(t *testing.T) {
+	// The paper: "this method is not robust against experienced
+	// adversaries" — heavy camouflage spreads the attacker's neighborhood
+	// across feature cells and dilutes synchronicity.
+	base := synth.SmallConfig()
+	heavy := base
+	heavy.Attack.CamouflageItemsMin = 20
+	heavy.Attack.CamouflageItemsMax = 30
+
+	run := func(cfg synth.Config) float64 {
+		ds := synth.MustGenerate(cfg)
+		res, err := DefaultDetector().Detect(ds.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Evaluate(res, ds.Truth).Recall
+	}
+	light := run(base)
+	camo := run(heavy)
+	t.Logf("recall: light camouflage %v, heavy camouflage %v", light, camo)
+	if camo >= light {
+		t.Errorf("heavy camouflage did not degrade CATCHSYNC: %v → %v", light, camo)
+	}
+}
+
+func TestIgnoresSingleClickUsers(t *testing.T) {
+	b := bipartite.NewBuilder(5, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1) // degree-1 users
+	}
+	res, err := DefaultDetector().Detect(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumNodes() != 0 {
+		t.Errorf("degree-1 users flagged: %v", res.Users())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	bad := []Detector{
+		{GridBits: 0, Theta: 3, MinItemShare: 0.5},
+		{GridBits: 20, Theta: 3, MinItemShare: 0.5},
+		{GridBits: 5, Theta: 1, MinItemShare: 0.5},
+		{GridBits: 5, Theta: 3, MinItemShare: 0},
+		{GridBits: 5, Theta: 3, MinItemShare: 1.5},
+	}
+	for i, d := range bad {
+		if _, err := d.Detect(g); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLogBucketBounds(t *testing.T) {
+	side := int32(32)
+	if b := logBucket(0, side); b != 0 {
+		t.Errorf("logBucket(0) = %d", b)
+	}
+	if b := logBucket(1e12, side); b != side-1 {
+		t.Errorf("logBucket(1e12) = %d, want %d", b, side-1)
+	}
+	if logBucket(100, side) <= logBucket(2, side) {
+		t.Error("buckets not increasing with magnitude")
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	var _ detect.Detector = (*Detector)(nil)
+	if DefaultDetector().Name() != "CATCHSYNC" {
+		t.Error("bad name")
+	}
+}

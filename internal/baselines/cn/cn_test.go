@@ -1,0 +1,129 @@
+package cn
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func TestCNClustersCoClickingUsers(t *testing.T) {
+	// 12 users all clicking the same 12 items (common neighbors = 12 ≥ 10)
+	// plus loner users sharing nothing.
+	b := bipartite.NewBuilder(20, 20)
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 2)
+		}
+	}
+	for i := 12; i < 20; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1)
+	}
+	g := b.Build()
+	res, err := DefaultDetector(10, 10).Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(res.Groups))
+	}
+	if len(res.Groups[0].Users) != 12 || len(res.Groups[0].Items) != 12 {
+		t.Errorf("group = %d users / %d items, want 12/12",
+			len(res.Groups[0].Users), len(res.Groups[0].Items))
+	}
+}
+
+func TestCNThresholdSeparatesClusters(t *testing.T) {
+	// Users 0-11 share items 0-11; users 12-23 share items 12-23; the two
+	// halves overlap in only 3 items (24-26) — below threshold 10, so CN
+	// must report two clusters, not one.
+	b := bipartite.NewBuilder(24, 27)
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	for u := 12; u < 24; u++ {
+		for v := 12; v < 24; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	for u := 0; u < 24; u++ {
+		for v := 24; v < 27; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	res, err := DefaultDetector(10, 10).Detect(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Groups))
+	}
+}
+
+func TestCNLowDegreeUsersSkipped(t *testing.T) {
+	// Users with fewer than Threshold items can never qualify.
+	b := bipartite.NewBuilder(30, 5)
+	for u := 0; u < 30; u++ {
+		for v := 0; v < 5; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	res, err := DefaultDetector(10, 5).Detect(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("degree-5 users cannot share ≥10 items, got %d groups", len(res.Groups))
+	}
+}
+
+func TestCNValidation(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	if _, err := (&Detector{Threshold: 0, MinUsers: 1, MinItems: 1}).Detect(g); err == nil {
+		t.Error("expected Threshold error")
+	}
+	if _, err := (&Detector{Threshold: 1, MinUsers: 1, MinItems: 0}).Detect(g); err == nil {
+		t.Error("expected MinItems error")
+	}
+}
+
+func TestCNOnSyntheticAttack(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	res, err := DefaultDetector(10, 10).Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	t.Logf("CN small: %v, groups=%d", ev, len(res.Groups))
+	if ev.Recall < 0.4 {
+		t.Errorf("CN recall = %v, want ≥ 0.4 (attackers share ≥10 items)", ev.Recall)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 1)
+	uf.union(2, 3)
+	uf.union(1, 2)
+	if uf.find(0) != uf.find(3) {
+		t.Error("0 and 3 should be connected")
+	}
+	if uf.find(4) == uf.find(0) {
+		t.Error("4 should be isolated")
+	}
+	uf.union(4, 4) // self-union is a no-op
+	if uf.find(4) != uf.find(4) {
+		t.Error("self-union broke find")
+	}
+}
+
+func TestCNDetectorInterface(t *testing.T) {
+	var _ detect.Detector = (*Detector)(nil)
+	if DefaultDetector(1, 1).Name() != "CN" {
+		t.Error("bad name")
+	}
+}

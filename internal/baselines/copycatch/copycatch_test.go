@@ -1,0 +1,153 @@
+package copycatch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+func TestFindsPlantedMaximalBiclique(t *testing.T) {
+	// One 12×12 biclique plus sparse noise.
+	b := bipartite.NewBuilder(30, 30)
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	for i := 12; i < 30; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1)
+	}
+	g := b.Build()
+	res, err := DefaultDetector(10, 10).Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d bicliques, want 1", len(res.Groups))
+	}
+	if len(res.Groups[0].Users) != 12 || len(res.Groups[0].Items) != 12 {
+		t.Errorf("biclique = %d×%d, want 12×12",
+			len(res.Groups[0].Users), len(res.Groups[0].Items))
+	}
+}
+
+func TestEnumeratesOverlappingBicliques(t *testing.T) {
+	// Users 0..11 all click items 0..11; users 0..5 additionally click
+	// items 12..23. Maximal bicliques of size ≥ (5,10):
+	// (12 users × 12 items) and (6 users × 24 items).
+	b := bipartite.NewBuilder(12, 24)
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	for u := 0; u < 6; u++ {
+		for v := 12; v < 24; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	d := &Detector{MinUsers: 5, MinItems: 10, Budget: 5 * time.Second}
+	res, err := d.Detect(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[[2]int]bool{}
+	for _, grp := range res.Groups {
+		sizes[[2]int{len(grp.Users), len(grp.Items)}] = true
+	}
+	if !sizes[[2]int{12, 12}] {
+		t.Errorf("missing 12×12 biclique; got %v", sizes)
+	}
+	if !sizes[[2]int{6, 24}] {
+		t.Errorf("missing 6×24 biclique; got %v", sizes)
+	}
+}
+
+func TestEveryReportedGroupIsABiclique(t *testing.T) {
+	b := bipartite.NewBuilder(15, 15)
+	for u := 0; u < 15; u++ {
+		for v := 0; v < 15; v++ {
+			if (u+v)%4 != 0 {
+				b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+			}
+		}
+	}
+	g := b.Build()
+	d := &Detector{MinUsers: 3, MinItems: 3, Budget: 5 * time.Second}
+	res, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range res.Groups {
+		for _, u := range grp.Users {
+			for _, v := range grp.Items {
+				if !g.HasEdge(u, v) {
+					t.Fatalf("group (%v, %v) is not complete: missing (%d,%d)",
+						grp.Users, grp.Items, u, v)
+				}
+			}
+		}
+	}
+	if len(res.Groups) == 0 {
+		t.Error("no bicliques found at all")
+	}
+}
+
+func TestBudgetExpires(t *testing.T) {
+	// A dense random-ish graph with a 1 ns budget must return quickly,
+	// possibly with partial output — and never hang.
+	b := bipartite.NewBuilder(60, 60)
+	for u := 0; u < 60; u++ {
+		for v := 0; v < 60; v++ {
+			if (u*7+v*13)%3 != 0 {
+				b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+			}
+		}
+	}
+	d := &Detector{MinUsers: 3, MinItems: 3, Budget: time.Nanosecond}
+	start := time.Now()
+	if _, err := d.Detect(b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Error("budget not honored")
+	}
+}
+
+func TestMaxGroupsStopsEarly(t *testing.T) {
+	b := bipartite.NewBuilder(20, 20)
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 20; v++ {
+			if (u+v)%5 != 0 {
+				b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+			}
+		}
+	}
+	d := &Detector{MinUsers: 2, MinItems: 2, Budget: 5 * time.Second, MaxGroups: 3}
+	res, err := d.Detect(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) > 3 {
+		t.Errorf("MaxGroups=3 but got %d groups", len(res.Groups))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	if _, err := (&Detector{MinUsers: 0, MinItems: 1, Budget: time.Second}).Detect(g); err == nil {
+		t.Error("expected MinUsers error")
+	}
+	if _, err := (&Detector{MinUsers: 1, MinItems: 1, Budget: 0}).Detect(g); err == nil {
+		t.Error("expected Budget error")
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	var _ detect.Detector = (*Detector)(nil)
+	if DefaultDetector(1, 1).Name() != "COPYCATCH" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,198 @@
+package fraudar
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func TestFindsPlantedDenseBlock(t *testing.T) {
+	// A 12×12 heavy block inside sparse background.
+	b := bipartite.NewBuilder(200, 200)
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 10)
+		}
+	}
+	for i := 12; i < 200; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1)
+	}
+	g := b.Build()
+	d := &Detector{Blocks: 1, MinUsers: 5, MinItems: 5, LogOffset: 5}
+	res, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(res.Groups))
+	}
+	grp := res.Groups[0]
+	inBlock := 0
+	for _, u := range grp.Users {
+		if u < 12 {
+			inBlock++
+		}
+	}
+	if inBlock < 12 {
+		t.Errorf("block covers %d/12 planted users: %v", inBlock, grp.Users)
+	}
+	if grp.Score <= 0 {
+		t.Errorf("block score = %v, want > 0", grp.Score)
+	}
+}
+
+func TestMultiBlockExtraction(t *testing.T) {
+	// Two disjoint heavy blocks; with Blocks=2 both must be found.
+	b := bipartite.NewBuilder(100, 100)
+	for blk := 0; blk < 2; blk++ {
+		off := blk * 12
+		for u := 0; u < 12; u++ {
+			for v := 0; v < 12; v++ {
+				b.Add(bipartite.NodeID(off+u), bipartite.NodeID(off+v), 10)
+			}
+		}
+	}
+	for i := 24; i < 100; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1)
+	}
+	g := b.Build()
+	d := &Detector{Blocks: 2, MinUsers: 10, MinItems: 10, LogOffset: 5}
+	res, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d blocks, want 2", len(res.Groups))
+	}
+	// Blocks must be disjoint (second run works on the residual).
+	seen := map[bipartite.NodeID]bool{}
+	for _, grp := range res.Groups {
+		for _, u := range grp.Users {
+			if seen[u] {
+				t.Errorf("user %d appears in two blocks", u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestSingleBlockMissesSecondGroup(t *testing.T) {
+	// The paper's criticism: without multiple blocks FRAUDAR finds only
+	// one attack group.
+	b := bipartite.NewBuilder(100, 100)
+	for blk := 0; blk < 2; blk++ {
+		off := blk * 12
+		for u := 0; u < 12; u++ {
+			for v := 0; v < 12; v++ {
+				b.Add(bipartite.NodeID(off+u), bipartite.NodeID(off+v), 10)
+			}
+		}
+	}
+	g := b.Build()
+	d := &Detector{Blocks: 1, MinUsers: 10, MinItems: 10, LogOffset: 5}
+	res, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := res.Users()
+	if len(users) > 15 {
+		// Both bicliques are identical in density, so one peel returns
+		// everything — also acceptable; the claim only concerns separated
+		// scoring. Accept either one block or the merged pair.
+		if len(users) != 24 {
+			t.Errorf("unexpected block size %d", len(users))
+		}
+	}
+}
+
+func TestCamouflageResistance(t *testing.T) {
+	// Attackers hammer a fringe block and add camouflage clicks on a very
+	// popular item. The popular item's log-weighted edges must not drag
+	// the whole fan base into the block.
+	b := bipartite.NewBuilder(500, 60)
+	// Popular item 0: 480 fans.
+	for u := bipartite.NodeID(20); u < 500; u++ {
+		b.Add(u, 0, 3)
+	}
+	// Attack block: users 0..11 × items 1..12, heavy.
+	for u := 0; u < 12; u++ {
+		for v := 1; v <= 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 12)
+		}
+		b.Add(bipartite.NodeID(u), 0, 2) // camouflage on the popular item
+	}
+	g := b.Build()
+	d := &Detector{Blocks: 1, MinUsers: 5, MinItems: 5, LogOffset: 5}
+	res, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(res.Groups))
+	}
+	grp := res.Groups[0]
+	attackers := 0
+	innocents := 0
+	for _, u := range grp.Users {
+		if u < 12 {
+			attackers++
+		} else {
+			innocents++
+		}
+	}
+	if attackers < 12 {
+		t.Errorf("only %d/12 attackers in the block", attackers)
+	}
+	if innocents > 20 {
+		t.Errorf("%d innocent fans dragged into the block (camouflage won)", innocents)
+	}
+}
+
+func TestFraudarOnSyntheticAttack(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d := DefaultDetector(10, 10)
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	t.Logf("FRAUDAR small: %v, blocks=%d", ev, len(res.Groups))
+	if ev.Precision < 0.3 {
+		t.Errorf("FRAUDAR precision = %v, want ≥ 0.3 (dense-block methods are precise)", ev.Precision)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	cases := []Detector{
+		{Blocks: 0, MinUsers: 1, MinItems: 1, LogOffset: 5},
+		{Blocks: 1, MinUsers: 0, MinItems: 1, LogOffset: 5},
+		{Blocks: 1, MinUsers: 1, MinItems: 1, LogOffset: 1},
+	}
+	for i, d := range cases {
+		if _, err := d.Detect(g); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDetectDoesNotMutateInput(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	before := ds.Graph.LiveEdges()
+	if _, err := DefaultDetector(10, 10).Detect(ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.LiveEdges() != before {
+		t.Error("Detect mutated the input graph")
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	var _ detect.Detector = (*Detector)(nil)
+	if DefaultDetector(1, 1).Name() != "FRAUDAR" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,118 @@
+package louvain
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func twoBlocks() *bipartite.Graph {
+	b := bipartite.NewBuilder(24, 24)
+	for blk := 0; blk < 2; blk++ {
+		off := blk * 12
+		for u := 0; u < 12; u++ {
+			for v := 0; v < 12; v++ {
+				b.Add(bipartite.NodeID(off+u), bipartite.NodeID(off+v), 4)
+			}
+		}
+	}
+	// One weak bridge between the blocks.
+	b.Add(0, 13, 1)
+	return b.Build()
+}
+
+func TestLouvainSeparatesDenseBlocks(t *testing.T) {
+	res, err := DefaultDetector(10, 10).Detect(twoBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Groups))
+	}
+	for _, grp := range res.Groups {
+		if len(grp.Users) != 12 || len(grp.Items) != 12 {
+			t.Errorf("group = %d users / %d items, want 12/12", len(grp.Users), len(grp.Items))
+		}
+	}
+}
+
+func TestLouvainModularityImproves(t *testing.T) {
+	g := twoBlocks()
+	w := newWorkGraph(g)
+	singleton := w.modularity(identity(w.n))
+	comm, moves := w.localMoving(1)
+	if moves == 0 {
+		t.Fatal("local moving made no moves on a clearly modular graph")
+	}
+	if q := w.modularity(comm); q <= singleton {
+		t.Errorf("modularity %v did not improve over singleton %v", q, singleton)
+	}
+}
+
+func TestLouvainAggregatePreservesTotalWeight(t *testing.T) {
+	g := twoBlocks()
+	w := newWorkGraph(g)
+	comm, _ := w.localMoving(1)
+	agg := w.aggregate(comm)
+	if agg.total != w.total {
+		t.Errorf("aggregate total = %v, want %v", agg.total, w.total)
+	}
+	if agg.n >= w.n {
+		t.Errorf("aggregation did not shrink the graph: %d → %d", w.n, agg.n)
+	}
+}
+
+func TestLouvainModularityBounds(t *testing.T) {
+	g := twoBlocks()
+	w := newWorkGraph(g)
+	comm, _ := w.localMoving(1)
+	q := w.modularity(comm)
+	if q < -1 || q > 1 {
+		t.Errorf("modularity %v out of [-1,1]", q)
+	}
+}
+
+func TestLouvainEmptyGraph(t *testing.T) {
+	res, err := DefaultDetector(1, 1).Detect(bipartite.NewGraph(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("empty graph produced %d groups", len(res.Groups))
+	}
+}
+
+func TestLouvainValidation(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	if _, err := (&Detector{MaxLevels: 1, MinUsers: 0, MinItems: 1}).Detect(g); err == nil {
+		t.Error("expected MinUsers error")
+	}
+	if _, err := (&Detector{MaxLevels: 0, MinUsers: 1, MinItems: 1}).Detect(g); err == nil {
+		t.Error("expected MaxLevels error")
+	}
+}
+
+func TestLouvainOnSyntheticAttack(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	res, err := DefaultDetector(10, 10).Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	t.Logf("Louvain small: %v, groups=%d", ev, len(res.Groups))
+	// Louvain lumps attackers into big mixed communities: recall decent,
+	// precision poor (the paper ranks it near the bottom).
+	if ev.Recall < 0.3 {
+		t.Errorf("Louvain recall = %v, want ≥ 0.3", ev.Recall)
+	}
+}
+
+func TestLouvainDetectorInterface(t *testing.T) {
+	var _ detect.Detector = (*Detector)(nil)
+	if DefaultDetector(1, 1).Name() != "Louvain" {
+		t.Error("bad name")
+	}
+}

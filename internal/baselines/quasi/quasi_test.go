@@ -1,0 +1,114 @@
+package quasi
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func TestFindsPlantedQuasiBiclique(t *testing.T) {
+	// 12×12 block with 10% of edges knocked out, plus noise.
+	b := bipartite.NewBuilder(40, 40)
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			if (u*12+v)%10 == 3 {
+				continue
+			}
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 5)
+		}
+	}
+	for i := 12; i < 40; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1)
+	}
+	g := b.Build()
+	d := &Detector{Gamma: 0.8, MinUsers: 8, MinItems: 8, Restarts: 5}
+	res, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(res.Groups))
+	}
+	grp := res.Groups[0]
+	inBlock := 0
+	for _, u := range grp.Users {
+		if u < 12 {
+			inBlock++
+		}
+	}
+	if inBlock < 10 {
+		t.Errorf("block coverage %d/12 users", inBlock)
+	}
+}
+
+func TestOutputsOnlyOneGroup(t *testing.T) {
+	// The structural limitation the paper criticizes: with three implanted
+	// attack groups, the maximum quasi-biclique search reports only one.
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d := DefaultDetector(10, 10)
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) > 1 {
+		t.Fatalf("maximum quasi-biclique search returned %d groups", len(res.Groups))
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	t.Logf("quasi on 3-group dataset: %v", ev)
+	if ev.Recall > 0.6 {
+		t.Errorf("recall %v too high for a single-group method on 3 groups", ev.Recall)
+	}
+}
+
+func TestGammaOneDemandsBiclique(t *testing.T) {
+	// With γ=1 the grown block must be a perfect biclique.
+	b := bipartite.NewBuilder(10, 10)
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 2)
+		}
+	}
+	b.Add(0, 7, 1) // dangling extra edge
+	g := b.Build()
+	d := &Detector{Gamma: 1.0, MinUsers: 3, MinItems: 3, Restarts: 3}
+	res, err := d.Detect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d groups", len(res.Groups))
+	}
+	grp := res.Groups[0]
+	for _, u := range grp.Users {
+		for _, v := range grp.Items {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("γ=1 block is not complete: missing (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	bad := []Detector{
+		{Gamma: 0, MinUsers: 1, MinItems: 1, Restarts: 1},
+		{Gamma: 1.2, MinUsers: 1, MinItems: 1, Restarts: 1},
+		{Gamma: 0.9, MinUsers: 0, MinItems: 1, Restarts: 1},
+		{Gamma: 0.9, MinUsers: 1, MinItems: 1, Restarts: 0},
+	}
+	for i, d := range bad {
+		if _, err := d.Detect(g); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDetectorInterface(t *testing.T) {
+	var _ detect.Detector = (*Detector)(nil)
+	if DefaultDetector(1, 1).Name() != "QuasiBiclique" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,66 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/baselines/catchsync"
+	"repro/internal/baselines/cn"
+	"repro/internal/baselines/copycatch"
+	"repro/internal/baselines/fraudar"
+	"repro/internal/baselines/louvain"
+	"repro/internal/baselines/lpa"
+	"repro/internal/baselines/quasi"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/riskcontrol"
+)
+
+// factories maps detector names to constructors taking the shared RICD
+// parameters (used for group-size bounds and screening thresholds).
+var factories = map[string]func(core.Params) detect.Detector{
+	"ricd":      func(p core.Params) detect.Detector { return &core.Detector{Params: p} },
+	"ricd-ui":   func(p core.Params) detect.Detector { return &core.Detector{Params: p, Variant: core.VariantUI} },
+	"ricd-i":    func(p core.Params) detect.Detector { return &core.Detector{Params: p, Variant: core.VariantI} },
+	"naive":     func(p core.Params) detect.Detector { return &core.NaiveDetector{Params: p} },
+	"lpa":       func(p core.Params) detect.Detector { return lpa.DefaultDetector(p.K1, p.K2) },
+	"cn":        func(p core.Params) detect.Detector { return cn.DefaultDetector(p.K1, p.K2) },
+	"louvain":   func(p core.Params) detect.Detector { return louvain.DefaultDetector(p.K1, p.K2) },
+	"copycatch": func(p core.Params) detect.Detector { return copycatch.DefaultDetector(p.K1, p.K2) },
+	"fraudar":   func(p core.Params) detect.Detector { return fraudar.DefaultDetector(p.K1, p.K2) },
+	"quasi":     func(p core.Params) detect.Detector { return quasi.DefaultDetector(p.K1, p.K2) },
+	"catchsync": func(p core.Params) detect.Detector { return catchsync.DefaultDetector() },
+	"riskrules": func(p core.Params) detect.Detector {
+		return &riskcontrol.Detector{Rules: riskcontrol.DefaultRules()}
+	},
+}
+
+// Names returns the registry's detector names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New constructs a detector by name. `withUI` wraps non-RICD detectors with
+// the screening module, as the paper's Fig 8 does; the RICD variants carry
+// their own screening semantics and reject the wrapper.
+func New(name string, p core.Params, withUI bool) (detect.Detector, error) {
+	factory, ok := factories[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("baselines: unknown detector %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	d := factory(p)
+	if withUI {
+		if strings.HasPrefix(strings.ToLower(name), "ricd") {
+			return nil, fmt.Errorf("baselines: %s already defines its screening; drop the UI wrapper", name)
+		}
+		d = &Screened{Inner: d, Params: p}
+	}
+	return d, nil
+}

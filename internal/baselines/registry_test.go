@@ -1,0 +1,59 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestRegistryConstructsEveryDetector(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	p := core.DefaultParams()
+	p.THot = 400
+	for _, name := range Names() {
+		d, err := New(name, p, false)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if d.Name() == "" {
+			t.Errorf("%s: empty detector name", name)
+		}
+		if _, err := d.Detect(ds.Graph); err != nil {
+			t.Errorf("%s: Detect: %v", name, err)
+		}
+	}
+}
+
+func TestRegistryUIWrapping(t *testing.T) {
+	p := core.DefaultParams()
+	d, err := New("lpa", p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "LPA+UI" {
+		t.Errorf("wrapped name = %q, want LPA+UI", d.Name())
+	}
+	if _, err := New("ricd", p, true); err == nil {
+		t.Error("wrapping RICD with UI must be rejected")
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, err := New("nope", core.DefaultParams(), false); err == nil {
+		t.Error("unknown detector accepted")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("registry has %d detectors, want ≥ 10", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Error("names not sorted")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/baselines/lpa"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+func smallParams() core.Params {
+	p := core.DefaultParams()
+	p.THot = 400
+	return p
+}
+
+func TestScreenedImprovesPrecision(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	raw := lpa.DefaultDetector(10, 10)
+	rawRes, err := raw.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := &Screened{Inner: lpa.DefaultDetector(10, 10), Params: smallParams()}
+	scrRes, err := wrapped.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawEv := metrics.Evaluate(rawRes, ds.Truth)
+	scrEv := metrics.Evaluate(scrRes, ds.Truth)
+	t.Logf("LPA raw: %v\nLPA+UI:  %v", rawEv, scrEv)
+	if scrEv.Precision < rawEv.Precision {
+		t.Errorf("screening lowered precision: %v → %v", rawEv.Precision, scrEv.Precision)
+	}
+	if scrEv.Recall > rawEv.Recall+1e-9 {
+		t.Errorf("screening cannot raise recall: %v → %v", rawEv.Recall, scrEv.Recall)
+	}
+}
+
+func TestScreenedName(t *testing.T) {
+	w := &Screened{Inner: lpa.DefaultDetector(1, 1)}
+	if w.Name() != "LPA+UI" {
+		t.Errorf("Name = %q, want LPA+UI", w.Name())
+	}
+}
+
+func TestScreenedTimingSplit(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	w := &Screened{Inner: lpa.DefaultDetector(10, 10), Params: smallParams()}
+	res, err := w.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectElapsed <= 0 || res.Elapsed < res.DetectElapsed {
+		t.Errorf("timings: detect=%v screen=%v total=%v",
+			res.DetectElapsed, res.ScreenElapsed, res.Elapsed)
+	}
+}
+
+func TestScreenedPropagatesInnerError(t *testing.T) {
+	w := &Screened{Inner: failingDetector{}, Params: smallParams()}
+	if _, err := w.Detect(bipartite.NewGraph(1, 1)); err == nil {
+		t.Error("inner error swallowed")
+	}
+}
+
+func TestScreenedValidatesParams(t *testing.T) {
+	w := &Screened{Inner: lpa.DefaultDetector(1, 1)} // zero Params
+	if _, err := w.Detect(bipartite.NewGraph(1, 1)); err == nil {
+		t.Error("expected params validation error")
+	}
+}
+
+type failingDetector struct{}
+
+func (failingDetector) Name() string { return "boom" }
+func (failingDetector) Detect(*bipartite.Graph) (*detect.Result, error) {
+	return nil, errors.New("boom")
+}

@@ -1,0 +1,80 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	builder := NewBuilder(5000, 1000)
+	for e := 0; e < 40000; e++ {
+		builder.Add(NodeID(rng.Intn(5000)), NodeID(rng.Intn(1000)), uint32(1+rng.Intn(10)))
+	}
+	return builder.Build()
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([]Edge, 40000)
+	for i := range edges {
+		edges[i] = Edge{
+			U:      NodeID(rng.Intn(5000)),
+			V:      NodeID(rng.Intn(1000)),
+			Weight: uint32(1 + rng.Intn(10)),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := NewBuilder(5000, 1000)
+		builder.AddEdges(edges)
+		_ = builder.Build()
+	}
+}
+
+func BenchmarkCommonUserNeighbors(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CommonUserNeighbors(g, NodeID(i%1000), NodeID((i+7)%1000))
+	}
+}
+
+func BenchmarkTwoHopUsers(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TwoHopUsers(g, NodeID(i%1000))
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(g)
+	}
+}
+
+func BenchmarkRemoveAndClone(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		for u := NodeID(0); u < 500; u++ {
+			c.RemoveUser(u)
+		}
+	}
+}
+
+func BenchmarkStats(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stats(g, UserSide)
+		Stats(g, ItemSide)
+	}
+}

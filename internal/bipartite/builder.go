@@ -1,0 +1,160 @@
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates click records and produces an immutable-adjacency
+// Graph. Duplicate (user, item) records are merged by summing their weights,
+// mirroring how a click log aggregates into the TaoBao_UI_Clicks table.
+//
+// The zero value is not usable; construct with NewBuilder.
+type Builder struct {
+	numUsers int
+	numItems int
+	edges    []Edge
+}
+
+// NewBuilder returns a Builder for a graph with at least the given number of
+// user and item vertices. Adding an edge with a larger ID grows the graph.
+func NewBuilder(numUsers, numItems int) *Builder {
+	return &Builder{numUsers: numUsers, numItems: numItems}
+}
+
+// Add records that user u clicked item v clicks times. Zero-click records
+// are ignored. Multiple Add calls for the same pair accumulate.
+func (b *Builder) Add(u, v NodeID, clicks uint32) {
+	if clicks == 0 {
+		return
+	}
+	if int(u) >= b.numUsers {
+		b.numUsers = int(u) + 1
+	}
+	if int(v) >= b.numItems {
+		b.numItems = int(v) + 1
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, Weight: clicks})
+}
+
+// AddEdges records a batch of edges.
+func (b *Builder) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		b.Add(e.U, e.V, e.Weight)
+	}
+}
+
+// NumEdges returns the number of raw (pre-merge) records added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build constructs the Graph. The Builder may be reused afterwards; the
+// built graph does not alias the builder's storage.
+func (b *Builder) Build() *Graph {
+	// Sort by (U, V) so duplicates are adjacent and adjacency ends up sorted.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+
+	g := NewGraph(b.numUsers, b.numItems)
+	var merged []Edge
+	for i := 0; i < len(b.edges); {
+		e := b.edges[i]
+		j := i + 1
+		for j < len(b.edges) && b.edges[j].U == e.U && b.edges[j].V == e.V {
+			e.Weight += b.edges[j].Weight
+			j++
+		}
+		merged = append(merged, e)
+		i = j
+	}
+
+	for _, e := range merged {
+		g.uAdj[e.U] = append(g.uAdj[e.U], Arc{To: e.V, Weight: e.Weight})
+		g.uDeg[e.U]++
+		g.uStrength[e.U] += uint64(e.Weight)
+		g.vDeg[e.V]++
+		g.vStrength[e.V] += uint64(e.Weight)
+		g.liveEdges++
+		g.liveClick += uint64(e.Weight)
+	}
+	// Item adjacency: bucket by item, already in user order because merged
+	// is sorted by (U, V).
+	for _, e := range merged {
+		g.vAdj[e.V] = append(g.vAdj[e.V], Arc{To: e.U, Weight: e.Weight})
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor building a graph directly from an
+// edge list. Vertex counts are inferred from the maximum IDs present.
+func FromEdges(edges []Edge) *Graph {
+	b := NewBuilder(0, 0)
+	b.AddEdges(edges)
+	return b.Build()
+}
+
+// Compact rewrites the graph dropping dead vertices and returns the new
+// graph along with mappings from new IDs back to the IDs in g. Algorithms
+// that repeatedly scan all vertices after heavy pruning use this to shrink
+// their working set.
+func Compact(g *Graph) (c *Graph, userOf, itemOf []NodeID) {
+	userOf = g.LiveUserIDs()
+	itemOf = g.LiveItemIDs()
+	newU := make(map[NodeID]NodeID, len(userOf))
+	newV := make(map[NodeID]NodeID, len(itemOf))
+	for i, u := range userOf {
+		newU[u] = NodeID(i)
+	}
+	for i, v := range itemOf {
+		newV[v] = NodeID(i)
+	}
+	b := NewBuilder(len(userOf), len(itemOf))
+	for _, u := range userOf {
+		g.EachUserNeighbor(u, func(v NodeID, w uint32) bool {
+			b.Add(newU[u], newV[v], w)
+			return true
+		})
+	}
+	return b.Build(), userOf, itemOf
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given user and
+// item sets, in the original ID space (vertices outside the sets are dead in
+// the result). Unknown IDs are rejected with an error.
+func InducedSubgraph(g *Graph, users, items []NodeID) (*Graph, error) {
+	for _, u := range users {
+		if int(u) >= g.NumUsers() {
+			return nil, fmt.Errorf("bipartite: induced subgraph: user %d out of range", u)
+		}
+	}
+	for _, v := range items {
+		if int(v) >= g.NumItems() {
+			return nil, fmt.Errorf("bipartite: induced subgraph: item %d out of range", v)
+		}
+	}
+	sub := g.Clone()
+	keepU := make(map[NodeID]bool, len(users))
+	keepV := make(map[NodeID]bool, len(items))
+	for _, u := range users {
+		keepU[u] = true
+	}
+	for _, v := range items {
+		keepV[v] = true
+	}
+	sub.EachLiveUser(func(u NodeID) bool {
+		if !keepU[u] {
+			sub.RemoveUser(u)
+		}
+		return true
+	})
+	sub.EachLiveItem(func(v NodeID) bool {
+		if !keepV[v] {
+			sub.RemoveItem(v)
+		}
+		return true
+	})
+	return sub, nil
+}

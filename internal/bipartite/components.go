@@ -1,0 +1,77 @@
+package bipartite
+
+import "sort"
+
+// Component is a connected set of live users and items.
+type Component struct {
+	Users []NodeID
+	Items []NodeID
+}
+
+// Size returns the total number of vertices in the component.
+func (c Component) Size() int { return len(c.Users) + len(c.Items) }
+
+// ConnectedComponents returns the connected components of the live part of
+// g, largest first. Isolated vertices (live degree 0) form singleton
+// components and are included.
+func ConnectedComponents(g *Graph) []Component {
+	uSeen := make([]bool, g.NumUsers())
+	vSeen := make([]bool, g.NumItems())
+	var comps []Component
+
+	// BFS queue entries encode side in the high bit of a uint64 to avoid
+	// allocating a struct per frontier entry.
+	const itemBit = uint64(1) << 32
+
+	bfs := func(startUser NodeID) Component {
+		var comp Component
+		queue := []uint64{uint64(startUser)}
+		uSeen[startUser] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur&itemBit == 0 {
+				u := NodeID(cur)
+				comp.Users = append(comp.Users, u)
+				g.EachUserNeighbor(u, func(v NodeID, _ uint32) bool {
+					if !vSeen[v] {
+						vSeen[v] = true
+						queue = append(queue, uint64(v)|itemBit)
+					}
+					return true
+				})
+			} else {
+				v := NodeID(cur &^ itemBit)
+				comp.Items = append(comp.Items, v)
+				g.EachItemNeighbor(v, func(u NodeID, _ uint32) bool {
+					if !uSeen[u] {
+						uSeen[u] = true
+						queue = append(queue, uint64(u))
+					}
+					return true
+				})
+			}
+		}
+		sort.Slice(comp.Users, func(i, j int) bool { return comp.Users[i] < comp.Users[j] })
+		sort.Slice(comp.Items, func(i, j int) bool { return comp.Items[i] < comp.Items[j] })
+		return comp
+	}
+
+	g.EachLiveUser(func(u NodeID) bool {
+		if !uSeen[u] {
+			comps = append(comps, bfs(u))
+		}
+		return true
+	})
+	// Items unreachable from any user (isolated items).
+	g.EachLiveItem(func(v NodeID) bool {
+		if !vSeen[v] {
+			vSeen[v] = true
+			comps = append(comps, Component{Items: []NodeID{v}})
+		}
+		return true
+	})
+
+	sort.SliceStable(comps, func(i, j int) bool { return comps[i].Size() > comps[j].Size() })
+	return comps
+}

@@ -1,0 +1,82 @@
+package bipartite
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestConnectedComponentsBasic(t *testing.T) {
+	// One big component (u1—v2—u2 bridges everything) plus two isolated
+	// vertices: {u0,u1,u2} × {v0,v1,v2}, u3 isolated, v3 isolated.
+	g := testGraph(t)
+	comps := ConnectedComponents(g)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %+v", len(comps), comps)
+	}
+	if !reflect.DeepEqual(comps[0].Users, []NodeID{0, 1, 2}) ||
+		!reflect.DeepEqual(comps[0].Items, []NodeID{0, 1, 2}) {
+		t.Errorf("largest component = %+v", comps[0])
+	}
+	// Components are ordered largest-first.
+	for i := 1; i < len(comps); i++ {
+		if comps[i].Size() > comps[i-1].Size() {
+			t.Errorf("components not sorted by size: %d before %d",
+				comps[i-1].Size(), comps[i].Size())
+		}
+	}
+}
+
+func TestConnectedComponentsAfterCut(t *testing.T) {
+	g := testGraph(t)
+	// u1—v2 is the bridge between {u0,u1,v0,v1} and {u2,v2}; removing v2
+	// detaches u2 entirely.
+	g.RemoveItem(2)
+	comps := ConnectedComponents(g)
+	// {u0,u1,v0,v1}, {u2}, {u3}, {v3}
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4: %+v", len(comps), comps)
+	}
+	if comps[0].Size() != 4 {
+		t.Errorf("largest component size = %d, want 4", comps[0].Size())
+	}
+}
+
+func TestConnectedComponentsEmptyGraph(t *testing.T) {
+	g := NewGraph(0, 0)
+	if comps := ConnectedComponents(g); len(comps) != 0 {
+		t.Errorf("empty graph: got %d components", len(comps))
+	}
+}
+
+func TestConnectedComponentsCoverAllVertices(t *testing.T) {
+	g := testGraph(t)
+	comps := ConnectedComponents(g)
+	users, items := 0, 0
+	for _, c := range comps {
+		users += len(c.Users)
+		items += len(c.Items)
+	}
+	if users != g.LiveUsers() || items != g.LiveItems() {
+		t.Errorf("components cover %d users / %d items, want %d / %d",
+			users, items, g.LiveUsers(), g.LiveItems())
+	}
+}
+
+func TestConnectedComponentsIgnoreDead(t *testing.T) {
+	g := testGraph(t)
+	g.RemoveUser(3)
+	g.RemoveItem(3)
+	comps := ConnectedComponents(g)
+	for _, c := range comps {
+		for _, u := range c.Users {
+			if u == 3 {
+				t.Error("dead user 3 appeared in a component")
+			}
+		}
+		for _, v := range c.Items {
+			if v == 3 {
+				t.Error("dead item 3 appeared in a component")
+			}
+		}
+	}
+}

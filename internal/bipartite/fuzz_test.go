@@ -1,0 +1,38 @@
+package bipartite
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary asserts the graph deserializer never panics on corrupt
+// bytes and that accepted graphs re-serialize losslessly.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	b := NewBuilder(3, 3)
+	b.Add(0, 1, 2)
+	b.Add(2, 0, 7)
+	if err := WriteBinary(&seed, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("BPG1"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if back.LiveEdges() != g.LiveEdges() || back.LiveClicks() != g.LiveClicks() {
+			t.Fatalf("round trip changed accounting: %v vs %v", back, g)
+		}
+	})
+}

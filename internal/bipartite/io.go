@@ -1,0 +1,96 @@
+package bipartite
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary graph format is a compact snapshot of the live part of a graph:
+//
+//	magic "BPG1" | numUsers u32 | numItems u32 | numEdges u32
+//	then numEdges × (user u32 | item u32 | weight u32), little endian,
+//	sorted by (user, item).
+//
+// Dead vertices are written as vertices with no edges; liveness is not
+// preserved across a round trip (loading yields an all-live graph), which is
+// what the offline pipeline wants: pruning state is transient.
+
+var binaryMagic = [4]byte{'B', 'P', 'G', '1'}
+
+// WriteBinary writes the live part of g to w in the binary graph format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("bipartite: write header: %w", err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(g.NumUsers()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.NumItems()))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(g.LiveEdges()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("bipartite: write header: %w", err)
+	}
+	var rec [12]byte
+	var werr error
+	g.EachLiveUser(func(u NodeID) bool {
+		g.EachUserNeighbor(u, func(v NodeID, wgt uint32) bool {
+			binary.LittleEndian.PutUint32(rec[0:], u)
+			binary.LittleEndian.PutUint32(rec[4:], v)
+			binary.LittleEndian.PutUint32(rec[8:], wgt)
+			if _, err := bw.Write(rec[:]); err != nil {
+				werr = fmt.Errorf("bipartite: write edge: %w", err)
+				return false
+			}
+			return true
+		})
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph in the binary graph format from r.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("bipartite: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("bipartite: bad magic %q", magic[:])
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("bipartite: read header: %w", err)
+	}
+	numUsers := binary.LittleEndian.Uint32(hdr[0:])
+	numItems := binary.LittleEndian.Uint32(hdr[4:])
+	numEdges := binary.LittleEndian.Uint32(hdr[8:])
+	// Vertex counts drive per-vertex allocations in Build; refuse headers
+	// claiming absurd sizes so corrupt streams fail cleanly, not by OOM.
+	const maxVertices = 1 << 28
+	if numUsers > maxVertices || numItems > maxVertices {
+		return nil, fmt.Errorf("bipartite: header claims %d users / %d items", numUsers, numItems)
+	}
+
+	b := NewBuilder(int(numUsers), int(numItems))
+	var rec [12]byte
+	for i := uint32(0); i < numEdges; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("bipartite: read edge %d/%d: %w", i, numEdges, err)
+		}
+		u := binary.LittleEndian.Uint32(rec[0:])
+		v := binary.LittleEndian.Uint32(rec[4:])
+		w := binary.LittleEndian.Uint32(rec[8:])
+		if u >= numUsers || v >= numItems {
+			return nil, fmt.Errorf("bipartite: edge %d (%d,%d) out of range (%d users, %d items)",
+				i, u, v, numUsers, numItems)
+		}
+		b.Add(u, v, w)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,79 @@
+package bipartite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumUsers() != g.NumUsers() || g2.NumItems() != g.NumItems() {
+		t.Fatalf("dims = (%d,%d), want (%d,%d)",
+			g2.NumUsers(), g2.NumItems(), g.NumUsers(), g.NumItems())
+	}
+	if g2.LiveEdges() != g.LiveEdges() || g2.LiveClicks() != g.LiveClicks() {
+		t.Errorf("accounting = %v, want %v", g2, g)
+	}
+	for _, e := range g.Edges() {
+		if g2.Weight(e.U, e.V) != e.Weight {
+			t.Errorf("edge (%d,%d): weight %d, want %d", e.U, e.V, g2.Weight(e.U, e.V), e.Weight)
+		}
+	}
+}
+
+func TestBinaryRoundTripDropsDeadEdges(t *testing.T) {
+	g := testGraph(t)
+	g.RemoveUser(1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Weight(1, 1) != 0 {
+		t.Error("edge of deleted user survived round trip")
+	}
+	if g2.LiveEdges() != g.LiveEdges() {
+		t.Errorf("LiveEdges = %d, want %d", g2.LiveEdges(), g.LiveEdges())
+	}
+}
+
+func TestReadBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXX garbage")); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func TestReadBinaryRejectsTruncated(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("expected error for truncated stream")
+	}
+}
+
+func TestReadBinaryRejectsOutOfRangeEdge(t *testing.T) {
+	// Hand-craft a header claiming 1 user / 1 item, then an edge to user 7.
+	var buf bytes.Buffer
+	buf.Write([]byte("BPG1"))
+	buf.Write([]byte{1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0}) // 1 user, 1 item, 1 edge
+	buf.Write([]byte{7, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0}) // edge (7, 0, 1)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Error("expected error for out-of-range edge")
+	}
+}

@@ -1,0 +1,153 @@
+package bipartite
+
+import "sort"
+
+// This file implements the sorted-adjacency set operations that dominate the
+// cost of the square-pruning stage of RICD (Algorithm 3) and of the
+// common-neighbors baseline: intersection counting and two-hop neighborhood
+// expansion.
+
+// CommonUserNeighbors returns the number of live items adjacent to both
+// users a and b (|a.adj ∩ b.adj| in the paper's notation).
+func CommonUserNeighbors(g *Graph, a, b NodeID) int {
+	if !g.UserAlive(a) || !g.UserAlive(b) {
+		return 0
+	}
+	return countCommon(g.uAdj[a], g.uAdj[b], g.vAlive)
+}
+
+// CommonItemNeighbors returns the number of live users adjacent to both
+// items a and b.
+func CommonItemNeighbors(g *Graph, a, b NodeID) int {
+	if !g.ItemAlive(a) || !g.ItemAlive(b) {
+		return 0
+	}
+	return countCommon(g.vAdj[a], g.vAdj[b], g.uAlive)
+}
+
+// CommonUserNeighborsAtLeast reports whether users a and b share at least k
+// live item neighbors, short-circuiting once k is reached.
+func CommonUserNeighborsAtLeast(g *Graph, a, b NodeID, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if !g.UserAlive(a) || !g.UserAlive(b) {
+		return false
+	}
+	return countCommonAtLeast(g.uAdj[a], g.uAdj[b], g.vAlive, k)
+}
+
+// CommonItemNeighborsAtLeast reports whether items a and b share at least k
+// live user neighbors, short-circuiting once k is reached.
+func CommonItemNeighborsAtLeast(g *Graph, a, b NodeID, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if !g.ItemAlive(a) || !g.ItemAlive(b) {
+		return false
+	}
+	return countCommonAtLeast(g.vAdj[a], g.vAdj[b], g.uAlive, k)
+}
+
+func countCommon(a, b []Arc, alive []bool) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].To < b[j].To:
+			i++
+		case a[i].To > b[j].To:
+			j++
+		default:
+			if alive[a[i].To] {
+				n++
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func countCommonAtLeast(a, b []Arc, alive []bool, k int) bool {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Not enough remaining entries to ever reach k: bail out.
+		rem := len(a) - i
+		if len(b)-j < rem {
+			rem = len(b) - j
+		}
+		if n+rem < k {
+			return false
+		}
+		switch {
+		case a[i].To < b[j].To:
+			i++
+		case a[i].To > b[j].To:
+			j++
+		default:
+			if alive[a[i].To] {
+				n++
+				if n >= k {
+					return true
+				}
+			}
+			i++
+			j++
+		}
+	}
+	return n >= k
+}
+
+// TwoHopUsers returns the live users reachable from user u through one live
+// item, excluding u itself. The result is sorted and duplicate-free. This is
+// the candidate set the square-pruning stage must test for (α,k)-neighbor
+// relations: any user sharing zero items trivially fails the test.
+func TwoHopUsers(g *Graph, u NodeID) []NodeID {
+	if !g.UserAlive(u) {
+		return nil
+	}
+	seen := map[NodeID]struct{}{}
+	g.EachUserNeighbor(u, func(v NodeID, _ uint32) bool {
+		g.EachItemNeighbor(v, func(u2 NodeID, _ uint32) bool {
+			if u2 != u {
+				seen[u2] = struct{}{}
+			}
+			return true
+		})
+		return true
+	})
+	return sortedKeys(seen)
+}
+
+// TwoHopItems returns the live items reachable from item v through one live
+// user, excluding v itself. The result is sorted and duplicate-free.
+func TwoHopItems(g *Graph, v NodeID) []NodeID {
+	if !g.ItemAlive(v) {
+		return nil
+	}
+	seen := map[NodeID]struct{}{}
+	g.EachItemNeighbor(v, func(u NodeID, _ uint32) bool {
+		g.EachUserNeighbor(u, func(v2 NodeID, _ uint32) bool {
+			if v2 != v {
+				seen[v2] = struct{}{}
+			}
+			return true
+		})
+		return true
+	})
+	return sortedKeys(seen)
+}
+
+func sortedKeys(m map[NodeID]struct{}) []NodeID {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,99 @@
+package bipartite
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCommonUserNeighbors(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 1, 2}, // share v0, v1
+		{0, 2, 0},
+		{1, 2, 1}, // share v2
+		{0, 3, 0}, // u3 isolated
+		{0, 0, 2}, // self: all own neighbors
+	}
+	for _, c := range cases {
+		if got := CommonUserNeighbors(g, c.a, c.b); got != c.want {
+			t.Errorf("CommonUserNeighbors(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCommonItemNeighbors(t *testing.T) {
+	g := testGraph(t)
+	if got, want := CommonItemNeighbors(g, 0, 1), 2; got != want { // u0, u1
+		t.Errorf("CommonItemNeighbors(0,1) = %d, want %d", got, want)
+	}
+	if got, want := CommonItemNeighbors(g, 0, 2), 1; got != want { // u1
+		t.Errorf("CommonItemNeighbors(0,2) = %d, want %d", got, want)
+	}
+}
+
+func TestCommonNeighborsRespectDeletion(t *testing.T) {
+	g := testGraph(t)
+	g.RemoveItem(0)
+	if got, want := CommonUserNeighbors(g, 0, 1), 1; got != want {
+		t.Errorf("after deleting v0: CommonUserNeighbors(0,1) = %d, want %d", got, want)
+	}
+	g.RemoveUser(1)
+	if got := CommonUserNeighbors(g, 0, 1); got != 0 {
+		t.Errorf("common neighbors with dead user = %d, want 0", got)
+	}
+}
+
+func TestCommonNeighborsAtLeast(t *testing.T) {
+	g := testGraph(t)
+	for k := 0; k <= 4; k++ {
+		want := CommonUserNeighbors(g, 0, 1) >= k
+		if got := CommonUserNeighborsAtLeast(g, 0, 1, k); got != want {
+			t.Errorf("CommonUserNeighborsAtLeast(0,1,%d) = %v, want %v", k, got, want)
+		}
+		wantI := CommonItemNeighbors(g, 0, 1) >= k
+		if got := CommonItemNeighborsAtLeast(g, 0, 1, k); got != wantI {
+			t.Errorf("CommonItemNeighborsAtLeast(0,1,%d) = %v, want %v", k, got, wantI)
+		}
+	}
+}
+
+func TestTwoHopUsers(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		u    NodeID
+		want []NodeID
+	}{
+		{0, []NodeID{1}},
+		{1, []NodeID{0, 2}},
+		{2, []NodeID{1}},
+		{3, nil},
+	}
+	for _, c := range cases {
+		got := TwoHopUsers(g, c.u)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("TwoHopUsers(%d) = %v, want %v", c.u, got, c.want)
+		}
+	}
+}
+
+func TestTwoHopItems(t *testing.T) {
+	g := testGraph(t)
+	got := TwoHopItems(g, 0)
+	want := []NodeID{1, 2} // via u0: v1; via u1: v1, v2
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TwoHopItems(0) = %v, want %v", got, want)
+	}
+}
+
+func TestTwoHopRespectsDeletion(t *testing.T) {
+	g := testGraph(t)
+	g.RemoveItem(2) // cuts u1↔u2 connection
+	got := TwoHopUsers(g, 1)
+	want := []NodeID{0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TwoHopUsers(1) after deleting v2 = %v, want %v", got, want)
+	}
+}

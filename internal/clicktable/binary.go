@@ -1,0 +1,81 @@
+package clicktable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary click-table format — the compact warehouse snapshot used when CSV
+// is too slow to scan:
+//
+//	magic "CTB1" | rows u64 | rows × (user u32 | item u32 | click u32),
+//	little endian, in table order.
+
+var binaryMagic = [4]byte{'C', 'T', 'B', '1'}
+
+// WriteBinary writes the table in the binary click-table format.
+func WriteBinary(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("clicktable: write magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(t.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("clicktable: write header: %w", err)
+	}
+	var rec [12]byte
+	for i := 0; i < t.Len(); i++ {
+		r := t.Row(i)
+		binary.LittleEndian.PutUint32(rec[0:], r.UserID)
+		binary.LittleEndian.PutUint32(rec[4:], r.ItemID)
+		binary.LittleEndian.PutUint32(rec[8:], r.Clicks)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("clicktable: write row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a table in the binary click-table format.
+func ReadBinary(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("clicktable: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("clicktable: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("clicktable: read header: %w", err)
+	}
+	rows := binary.LittleEndian.Uint64(hdr[:])
+	const maxRows = 1 << 33 // refuse absurd headers outright
+	if rows > maxRows {
+		return nil, fmt.Errorf("clicktable: header claims %d rows", rows)
+	}
+	// Never trust the header for the allocation size: a corrupt header on
+	// a short stream must fail with a read error, not an OOM. Capacity
+	// grows with data actually present.
+	capHint := rows
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t := New(int(capHint))
+	var rec [12]byte
+	for i := uint64(0); i < rows; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("clicktable: read row %d/%d: %w", i, rows, err)
+		}
+		t.Append(
+			binary.LittleEndian.Uint32(rec[0:]),
+			binary.LittleEndian.Uint32(rec[4:]),
+			binary.LittleEndian.Uint32(rec[8:]),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,70 @@
+package clicktable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tbl := sampleTable()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tbl.Len())
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		if got.Row(i) != tbl.Row(i) {
+			t.Errorf("row %d = %+v, want %+v", i, got.Row(i), tbl.Row(i))
+		}
+	}
+}
+
+func TestBinaryEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, New(0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Len = %d, want 0", got.Len())
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXXgarbage.....")); err == nil {
+		t.Error("expected magic error")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	tbl := sampleTable()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{3, 8, len(data) - 4} {
+		if _, err := ReadBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("expected error at cut %d", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsAbsurdHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("CTB1")
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // ~2^63 rows
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Error("expected header-size error")
+	}
+}

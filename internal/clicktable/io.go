@@ -1,0 +1,80 @@
+package clicktable
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV format: a header row "user_id,item_id,click" followed by one row per
+// record. This is the interchange format of cmd/synthgen and cmd/ricd.
+
+// csvHeader is the canonical header row.
+var csvHeader = []string{"user_id", "item_id", "click"}
+
+// WriteCSV writes the table in CSV format.
+func WriteCSV(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("clicktable: write header: %w", err)
+	}
+	rec := make([]string, 3)
+	for i := 0; i < t.Len(); i++ {
+		r := t.Row(i)
+		rec[0] = strconv.FormatUint(uint64(r.UserID), 10)
+		rec[1] = strconv.FormatUint(uint64(r.ItemID), 10)
+		rec[2] = strconv.FormatUint(uint64(r.Clicks), 10)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("clicktable: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("clicktable: flush: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a table in CSV format. The header row is validated.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 3
+	cr.ReuseRecord = true
+
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("clicktable: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if hdr[i] != want {
+			return nil, fmt.Errorf("clicktable: bad header column %d: got %q, want %q", i, hdr[i], want)
+		}
+	}
+
+	t := New(0)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("clicktable: line %d: %w", line, err)
+		}
+		u, err := strconv.ParseUint(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("clicktable: line %d: bad user_id %q: %w", line, rec[0], err)
+		}
+		v, err := strconv.ParseUint(rec[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("clicktable: line %d: bad item_id %q: %w", line, rec[1], err)
+		}
+		c, err := strconv.ParseUint(rec[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("clicktable: line %d: bad click %q: %w", line, rec[2], err)
+		}
+		t.Append(uint32(u), uint32(v), uint32(c))
+	}
+}

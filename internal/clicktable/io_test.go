@@ -1,0 +1,88 @@
+package clicktable
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := sampleTable()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tbl.Len())
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		if got.Row(i) != tbl.Row(i) {
+			t.Errorf("row %d = %+v, want %+v", i, got.Row(i), tbl.Row(i))
+		}
+	}
+}
+
+func TestCSVHeaderOnly(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("user_id,item_id,click\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Len = %d, want 0", got.Len())
+	}
+}
+
+func TestCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("expected header error")
+	}
+}
+
+func TestCSVRejectsBadFields(t *testing.T) {
+	cases := []string{
+		"user_id,item_id,click\nx,2,3\n",
+		"user_id,item_id,click\n1,y,3\n",
+		"user_id,item_id,click\n1,2,z\n",
+		"user_id,item_id,click\n1,2\n",
+		"user_id,item_id,click\n-1,2,3\n",
+		"user_id,item_id,click\n99999999999,2,3\n", // overflows uint32
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := New(0)
+		for i := 0; i < rng.Intn(200); i++ {
+			tbl.Append(rng.Uint32(), rng.Uint32(), 1+uint32(rng.Intn(1000)))
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tbl); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || got.Len() != tbl.Len() {
+			return false
+		}
+		for i := 0; i < tbl.Len(); i++ {
+			if got.Row(i) != tbl.Row(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

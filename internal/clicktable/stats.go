@@ -1,0 +1,70 @@
+package clicktable
+
+import "math"
+
+// SideStats mirrors the per-side rows of the paper's Table II.
+type SideStats struct {
+	AvgClicks   float64 // Avg_clk: mean total clicks per entity
+	AvgCount    float64 // Avg_cnt: mean number of distinct counterparts
+	StdevClicks float64 // Stdev: population stdev of total clicks
+}
+
+// Stats holds both rows of Table II.
+type Stats struct {
+	User SideStats
+	Item SideStats
+}
+
+// ComputeStats computes Table II for the table. Rows are aggregated by
+// entity; duplicate (user, item) rows count as one counterpart but their
+// clicks accumulate, matching an aggregated click log.
+func ComputeStats(t *Table) Stats {
+	type acc struct {
+		clicks uint64
+		pairs  map[uint32]struct{}
+	}
+	userAcc := map[uint32]*acc{}
+	itemAcc := map[uint32]*acc{}
+	get := func(m map[uint32]*acc, k uint32) *acc {
+		a := m[k]
+		if a == nil {
+			a = &acc{pairs: map[uint32]struct{}{}}
+			m[k] = a
+		}
+		return a
+	}
+	t.Each(func(r Record) bool {
+		ua := get(userAcc, r.UserID)
+		ua.clicks += uint64(r.Clicks)
+		ua.pairs[r.ItemID] = struct{}{}
+		ia := get(itemAcc, r.ItemID)
+		ia.clicks += uint64(r.Clicks)
+		ia.pairs[r.UserID] = struct{}{}
+		return true
+	})
+	side := func(m map[uint32]*acc) SideStats {
+		n := len(m)
+		if n == 0 {
+			return SideStats{}
+		}
+		var sum, sumSq float64
+		var cnt int
+		for _, a := range m {
+			x := float64(a.clicks)
+			sum += x
+			sumSq += x * x
+			cnt += len(a.pairs)
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		return SideStats{
+			AvgClicks:   mean,
+			AvgCount:    float64(cnt) / float64(n),
+			StdevClicks: math.Sqrt(variance),
+		}
+	}
+	return Stats{User: side(userAcc), Item: side(itemAcc)}
+}

@@ -1,0 +1,155 @@
+// Package clicktable implements the user-item click table that the paper
+// calls TaoBao_UI_Clicks: a three-column relation (User_ID, Item_ID, Click)
+// holding aggregated click counts, together with the scale and statistics
+// computations of the paper's Tables I and II and the conversion to the
+// bipartite click graph (the TableToBiGraph step of Algorithm 2).
+package clicktable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bipartite"
+)
+
+// Record is one row of the click table: user UserID clicked item ItemID
+// Clicks times.
+type Record struct {
+	UserID uint32
+	ItemID uint32
+	Clicks uint32
+}
+
+// Table is an in-memory click table. Rows are stored column-wise to keep
+// large tables compact and scan-friendly.
+type Table struct {
+	users  []uint32
+	items  []uint32
+	clicks []uint32
+}
+
+// New returns an empty table with capacity for n rows.
+func New(n int) *Table {
+	return &Table{
+		users:  make([]uint32, 0, n),
+		items:  make([]uint32, 0, n),
+		clicks: make([]uint32, 0, n),
+	}
+}
+
+// Append adds a row. Zero-click rows are dropped, matching the semantics of
+// an aggregated click log.
+func (t *Table) Append(user, item, clicks uint32) {
+	if clicks == 0 {
+		return
+	}
+	t.users = append(t.users, user)
+	t.items = append(t.items, item)
+	t.clicks = append(t.clicks, clicks)
+}
+
+// AppendRecord adds a row from a Record value.
+func (t *Table) AppendRecord(r Record) { t.Append(r.UserID, r.ItemID, r.Clicks) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.users) }
+
+// Row returns row i.
+func (t *Table) Row(i int) Record {
+	return Record{UserID: t.users[i], ItemID: t.items[i], Clicks: t.clicks[i]}
+}
+
+// Each calls fn for every row in order. If fn returns false iteration stops.
+func (t *Table) Each(fn func(Record) bool) {
+	for i := range t.users {
+		if !fn(Record{UserID: t.users[i], ItemID: t.items[i], Clicks: t.clicks[i]}) {
+			return
+		}
+	}
+}
+
+// Aggregate merges duplicate (user, item) rows by summing clicks, returning
+// a new table sorted by (user, item). The receiver is unchanged.
+func (t *Table) Aggregate() *Table {
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if t.users[i] != t.users[j] {
+			return t.users[i] < t.users[j]
+		}
+		return t.items[i] < t.items[j]
+	})
+	out := New(t.Len())
+	for p := 0; p < len(idx); {
+		i := idx[p]
+		u, v, c := t.users[i], t.items[i], uint64(t.clicks[i])
+		q := p + 1
+		for q < len(idx) && t.users[idx[q]] == u && t.items[idx[q]] == v {
+			c += uint64(t.clicks[idx[q]])
+			q++
+		}
+		if c > 1<<32-1 {
+			c = 1<<32 - 1
+		}
+		out.Append(u, v, uint32(c))
+		p = q
+	}
+	return out
+}
+
+// Scale summarizes the table the way the paper's Table I does.
+type Scale struct {
+	Users       int    // distinct user IDs present
+	Items       int    // distinct item IDs present
+	Edges       int    // distinct (user, item) pairs
+	TotalClicks uint64 // sum of the Click column
+}
+
+// Scale computes Table I-style scale numbers.
+func (t *Table) Scale() Scale {
+	users := map[uint32]struct{}{}
+	items := map[uint32]struct{}{}
+	pairs := map[uint64]struct{}{}
+	var total uint64
+	for i := range t.users {
+		users[t.users[i]] = struct{}{}
+		items[t.items[i]] = struct{}{}
+		pairs[uint64(t.users[i])<<32|uint64(t.items[i])] = struct{}{}
+		total += uint64(t.clicks[i])
+	}
+	return Scale{Users: len(users), Items: len(items), Edges: len(pairs), TotalClicks: total}
+}
+
+// String renders the scale like the paper's Table I row.
+func (s Scale) String() string {
+	return fmt.Sprintf("users=%d items=%d edges=%d total_clicks=%d",
+		s.Users, s.Items, s.Edges, s.TotalClicks)
+}
+
+// ToGraph converts the table to a bipartite click graph. Duplicate rows are
+// merged by summing clicks (the graph builder does this). This is the
+// TableToBiGraph function of the paper's Algorithm 2.
+func (t *Table) ToGraph() *bipartite.Graph {
+	b := bipartite.NewBuilder(0, 0)
+	for i := range t.users {
+		b.Add(t.users[i], t.items[i], t.clicks[i])
+	}
+	return b.Build()
+}
+
+// FromGraph materializes the live part of a bipartite graph back into a
+// click table sorted by (user, item).
+func FromGraph(g *bipartite.Graph) *Table {
+	t := New(g.LiveEdges())
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+			t.Append(u, v, w)
+			return true
+		})
+		return true
+	})
+	return t
+}

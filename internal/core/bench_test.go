@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func benchDataset(b *testing.B) *synth.Dataset {
+	b.Helper()
+	return synth.MustGenerate(synth.SmallConfig())
+}
+
+func BenchmarkPruneSmall(b *testing.B) {
+	ds := benchDataset(b)
+	p := smallParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := ds.Graph.Clone()
+		Prune(g, p)
+	}
+}
+
+func BenchmarkDetectSmall(b *testing.B) {
+	ds := benchDataset(b)
+	d := &Detector{Params: smallParams()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Detect(ds.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScreenGroupsSmall(b *testing.B) {
+	ds := benchDataset(b)
+	p := smallParams()
+	ui := &Detector{Params: p, Variant: VariantUI}
+	res, err := ui.Detect(ds.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := ComputeHotSet(ds.Graph, p.THot)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScreenGroups(ds.Graph, res.Groups, hot, p)
+	}
+}
+
+func BenchmarkNaiveSmall(b *testing.B) {
+	ds := benchDataset(b)
+	d := &NaiveDetector{Params: smallParams()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Detect(ds.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankResult(b *testing.B) {
+	ds := benchDataset(b)
+	d := &Detector{Params: smallParams()}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RankResult(ds.Graph, res)
+	}
+}
+
+func BenchmarkDeriveThresholds(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeriveThresholds(ds.Graph)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known Zarankiewicz numbers z(n,n;2,2): the maximum edges of an n×n
+// bipartite graph with no K_{2,2}. Source: classical small values.
+var zarankiewicz22 = map[int]int{
+	2: 3,
+	3: 6,
+	4: 9,
+	5: 12,
+	6: 16,
+}
+
+func TestCamouflageBoundDominatesKnownValues(t *testing.T) {
+	for n, z := range zarankiewicz22 {
+		bound := CamouflageBound(n, n, 2, 2)
+		if bound < float64(z) {
+			t.Errorf("bound(%d,%d;2,2) = %v below true z = %d", n, n, bound, z)
+		}
+		// The KST bound is reasonably tight for these sizes.
+		if bound > float64(z)*2.2 {
+			t.Errorf("bound(%d,%d;2,2) = %v too loose vs z = %d", n, n, bound, z)
+		}
+	}
+}
+
+func TestCamouflageBoundEdgeCases(t *testing.T) {
+	if CamouflageBound(0, 5, 2, 2) != 0 {
+		t.Error("m=0 should bound 0")
+	}
+	// s > m: no K_{s,t} can exist; everything is safe.
+	if got := CamouflageBound(3, 5, 4, 2); got != 15 {
+		t.Errorf("s>m bound = %v, want full 15", got)
+	}
+	if got := CamouflageBound(3, 5, 2, 6); got != 15 {
+		t.Errorf("t>n bound = %v, want full 15", got)
+	}
+}
+
+func TestContainsBiclique(t *testing.T) {
+	adj := [][]bool{
+		{true, true, false},
+		{true, true, false},
+		{false, false, true},
+	}
+	if !ContainsBiclique(adj, 2, 2) {
+		t.Error("2×2 biclique in rows 0-1 not found")
+	}
+	if ContainsBiclique(adj, 3, 2) {
+		t.Error("no 3×2 biclique exists")
+	}
+	if ContainsBiclique(adj, 2, 3) {
+		t.Error("no 2×3 biclique exists")
+	}
+	if ContainsBiclique(nil, 1, 1) {
+		t.Error("empty matrix contains nothing")
+	}
+}
+
+// Property: CamouflageBound is a genuine upper bound — any random bipartite
+// graph with MORE edges than the bound must contain a K_{s,t}.
+func TestPropertyBoundIsUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(4) // 3..6
+		n := 3 + rng.Intn(4)
+		s, tt := 2, 2
+		bound := CamouflageBound(m, n, s, tt)
+
+		// Build a random graph edge by edge; once edges > bound a
+		// K_{2,2} must exist.
+		adj := make([][]bool, m)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		edges := 0
+		order := rng.Perm(m * n)
+		for _, p := range order {
+			adj[p/n][p%n] = true
+			edges++
+			if float64(edges) > bound {
+				if !ContainsBiclique(adj, s, tt) {
+					return false
+				}
+				// One check above the bound is enough for this instance.
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

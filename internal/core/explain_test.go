@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestExplainGroupContainsEvidence(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	p := smallParams()
+	d := &Detector{Params: p}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	hot := ComputeHotSet(ds.Graph, p.THot)
+	text := ExplainGroup(ds.Graph, res.Groups[0], hot, p)
+
+	for _, want := range []string{"density", "accounts (hot clicks", "items (group supporters"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+	// Every listed account line mentions targets; sanity-check one known
+	// member appears.
+	found := false
+	for _, u := range res.Groups[0].Users {
+		if strings.Contains(text, "user "+itoa(u)) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no group member listed in explanation")
+	}
+}
+
+func itoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestExplainGroupCapsListings(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	p := smallParams()
+	d := &Detector{Params: p}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := ComputeHotSet(ds.Graph, p.THot)
+	text := ExplainGroup(ds.Graph, res.Groups[0], hot, p)
+	if n := strings.Count(text, "  user "); n > 12 {
+		t.Errorf("%d account lines, want ≤ 12", n)
+	}
+	if n := strings.Count(text, "  item "); n > 12 {
+		t.Errorf("%d item lines, want ≤ 12", n)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+// This file implements Algorithm 2, the Suspicious Group Detection module:
+// GraphGenerator builds the working bipartite graph — either the whole
+// click-table graph or, when known abnormal seeds are available from the
+// business department, the union of the seeds' surrounding subgraphs
+// (MaxBiGraph in the pseudocode) — and NearBicliqueExtract (Algorithm 3,
+// prune.go) extracts the candidate groups.
+
+// GraphGenerator returns the working graph for group detection. With no
+// seeds it is a clone of g (TableToBiGraph already happened upstream). With
+// seeds, it is the subgraph of g induced by the union of each seed's
+// neighborhood expansion: for a seed the attack group around it lies within
+// three hops (seed user → its items → their users → those users' items),
+// so the expansion collects exactly that ball. Seeds only prune the search
+// space — the module works without them (Lines 5–10 of Algorithm 2).
+func GraphGenerator(g *bipartite.Graph, seeds detect.Seeds) *bipartite.Graph {
+	return GraphGeneratorBounded(g, seeds, 0)
+}
+
+// GraphGeneratorBounded is GraphGenerator with an expansion bound: items
+// whose live degree exceeds itemDegreeCap are included in the subgraph but
+// not traversed THROUGH (their full fan base is not pulled in). The bound is
+// safe for attack-group discovery — co-attackers of a seed always share its
+// modest-degree target items, never only a hot item (a user sharing only a
+// hot item with the seed cannot be in an (α,k₁,k₂)-extension biclique with
+// it, which requires ⌈α·k₂⌉ common items). Zero means unbounded. The
+// incremental detector uses the bound to keep dirty-region sweeps local.
+func GraphGeneratorBounded(g *bipartite.Graph, seeds detect.Seeds, itemDegreeCap int) *bipartite.Graph {
+	if seeds.Empty() {
+		return g.Clone()
+	}
+
+	keepU := map[bipartite.NodeID]bool{}
+	keepV := map[bipartite.NodeID]bool{}
+	traverse := func(v bipartite.NodeID) bool {
+		return itemDegreeCap <= 0 || g.ItemDegree(v) <= itemDegreeCap
+	}
+
+	// expandUser marks u, its items, their users, and those users' items.
+	expandUser := func(u bipartite.NodeID) {
+		if !g.UserAlive(u) {
+			return
+		}
+		keepU[u] = true
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, _ uint32) bool {
+			keepV[v] = true
+			if !traverse(v) {
+				return true
+			}
+			g.EachItemNeighbor(v, func(u2 bipartite.NodeID, _ uint32) bool {
+				if !keepU[u2] {
+					keepU[u2] = true
+					g.EachUserNeighbor(u2, func(v2 bipartite.NodeID, _ uint32) bool {
+						keepV[v2] = true
+						return true
+					})
+				}
+				return true
+			})
+			return true
+		})
+	}
+	// expandItem marks v, its users, those users' items, and one more user
+	// layer, so that co-attackers who skipped v itself but click its
+	// sibling targets (Participation < 1 in the attack model) are included.
+	expandItem := func(v bipartite.NodeID) {
+		if !g.ItemAlive(v) {
+			return
+		}
+		keepV[v] = true
+		if !traverse(v) {
+			return
+		}
+		g.EachItemNeighbor(v, func(u bipartite.NodeID, _ uint32) bool {
+			if !keepU[u] {
+				keepU[u] = true
+				g.EachUserNeighbor(u, func(v2 bipartite.NodeID, _ uint32) bool {
+					if keepV[v2] {
+						return true
+					}
+					keepV[v2] = true
+					if !traverse(v2) {
+						return true
+					}
+					g.EachItemNeighbor(v2, func(u2 bipartite.NodeID, _ uint32) bool {
+						keepU[u2] = true
+						return true
+					})
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	for _, u := range seeds.Users {
+		expandUser(u)
+	}
+	for _, v := range seeds.Items {
+		expandItem(v)
+	}
+
+	sub := g.Clone()
+	sub.EachLiveUser(func(u bipartite.NodeID) bool {
+		if !keepU[u] {
+			sub.RemoveUser(u)
+		}
+		return true
+	})
+	sub.EachLiveItem(func(v bipartite.NodeID) bool {
+		if !keepV[v] {
+			sub.RemoveItem(v)
+		}
+		return true
+	})
+	return sub
+}
+
+// NearBicliqueExtract runs Algorithm 3 on work (mutating it) and returns the
+// surviving candidate groups.
+func NearBicliqueExtract(work *bipartite.Graph, p Params) []detect.Group {
+	Prune(work, p)
+	return ExtractGroups(work, p)
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/synth"
+)
+
+func TestComputeGroupStatsPerfectBiclique(t *testing.T) {
+	b := bipartite.NewBuilder(4, 3)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 10)
+		}
+	}
+	b.Add(3, 0, 5) // organic outsider on item 0
+	g := b.Build()
+	grp := detect.Group{
+		Users: []bipartite.NodeID{0, 1, 2},
+		Items: []bipartite.NodeID{0, 1, 2},
+	}
+	st := ComputeGroupStats(g, grp)
+	if st.Edges != 9 || st.Density != 1.0 {
+		t.Errorf("edges/density = %d/%v, want 9/1.0", st.Edges, st.Density)
+	}
+	if st.FakeClicks != 90 || st.MeanEdgeClicks != 10 {
+		t.Errorf("clicks = %d mean %v, want 90/10", st.FakeClicks, st.MeanEdgeClicks)
+	}
+	// Item totals: 35 + 30 + 30 = 95; outside = 5.
+	want := 5.0 / 95.0
+	if math.Abs(st.OutsideShare-want) > 1e-12 {
+		t.Errorf("OutsideShare = %v, want %v", st.OutsideShare, want)
+	}
+}
+
+func TestComputeGroupStatsSparseGroup(t *testing.T) {
+	b := bipartite.NewBuilder(2, 2)
+	b.Add(0, 0, 4)
+	g := b.Build()
+	grp := detect.Group{Users: []bipartite.NodeID{0, 1}, Items: []bipartite.NodeID{0, 1}}
+	st := ComputeGroupStats(g, grp)
+	if st.Edges != 1 || st.Density != 0.25 {
+		t.Errorf("edges/density = %d/%v, want 1/0.25", st.Edges, st.Density)
+	}
+}
+
+func TestComputeGroupStatsEmptyGroup(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	st := ComputeGroupStats(g, detect.Group{})
+	if st.Edges != 0 || st.Density != 0 || st.OutsideShare != 0 {
+		t.Errorf("empty group stats = %+v", st)
+	}
+}
+
+func TestGroupStatsOnDetectedAttack(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d := &Detector{Params: smallParams()}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	marketMean := float64(ds.Graph.LiveClicks()) / float64(ds.Graph.LiveEdges())
+	for i, grp := range res.Groups {
+		st := ComputeGroupStats(ds.Graph, grp)
+		if st.Density < 0.7 {
+			t.Errorf("group %d density = %v, want ≥ 0.7 (near-biclique)", i, st.Density)
+		}
+		if st.MeanEdgeClicks < 3*marketMean {
+			t.Errorf("group %d mean edge clicks %v not ≫ market mean %v",
+				i, st.MeanEdgeClicks, marketMean)
+		}
+		if st.OutsideShare > 0.5 {
+			t.Errorf("group %d outside share = %v; attacked targets should be attacker-dominated",
+				i, st.OutsideShare)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "repro/internal/bipartite"
+
+// HotSet marks which items are hot (total clicks ≥ T_hot). It is computed
+// once on the full input graph, before any pruning, because hotness is a
+// property of the marketplace, not of a pruned residual.
+type HotSet struct {
+	hot  []bool
+	n    int
+	tHot uint64
+}
+
+// ComputeHotSet classifies every live item of g against tHot.
+func ComputeHotSet(g *bipartite.Graph, tHot uint64) *HotSet {
+	h := &HotSet{hot: make([]bool, g.NumItems()), tHot: tHot}
+	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if g.ItemStrength(v) >= tHot {
+			h.hot[v] = true
+			h.n++
+		}
+		return true
+	})
+	return h
+}
+
+// IsHot reports whether item v is hot.
+func (h *HotSet) IsHot(v bipartite.NodeID) bool {
+	return int(v) < len(h.hot) && h.hot[v]
+}
+
+// Count returns the number of hot items.
+func (h *HotSet) Count() int { return h.n }
+
+// Threshold returns the T_hot value the set was computed with.
+func (h *HotSet) Threshold() uint64 { return h.tHot }

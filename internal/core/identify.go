@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+// This file implements the Suspicious Group Identification module: the
+// risk-score ranking strategy and the feedback-based parameter adjustment
+// strategy (Fig 7), which together make the framework consumable by business
+// experts (desired property 4).
+
+// RankedNode is one row of the identification module's output table.
+type RankedNode struct {
+	ID   bipartite.NodeID
+	Side bipartite.Side
+	// Score is the risk score: for users, the number of suspicious items
+	// clicked; for items, the average risk score of its clickers.
+	Score float64
+}
+
+// Ranking is the ordered user-item output table.
+type Ranking struct {
+	Users []RankedNode // descending by Score, ties by ID
+	Items []RankedNode
+}
+
+// RankResult computes risk scores for every suspicious node of a detection
+// result, against the original click graph:
+//
+//   - a user's risk score is the number of suspicious items it clicked;
+//   - an item's risk score is the average risk score of the users that
+//     clicked it (non-suspicious clickers contribute zero, so organically
+//     popular items are diluted downward).
+func RankResult(g *bipartite.Graph, res *detect.Result) Ranking {
+	susItems := map[bipartite.NodeID]bool{}
+	for _, v := range res.Items() {
+		susItems[v] = true
+	}
+
+	userScore := map[bipartite.NodeID]float64{}
+	for _, u := range res.Users() {
+		n := 0
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, _ uint32) bool {
+			if susItems[v] {
+				n++
+			}
+			return true
+		})
+		userScore[u] = float64(n)
+	}
+
+	var r Ranking
+	for u, s := range userScore {
+		r.Users = append(r.Users, RankedNode{ID: u, Side: bipartite.UserSide, Score: s})
+	}
+	for v := range susItems {
+		var sum float64
+		n := 0
+		g.EachItemNeighbor(v, func(u bipartite.NodeID, _ uint32) bool {
+			sum += userScore[u] // zero for non-suspicious users
+			n++
+			return true
+		})
+		score := 0.0
+		if n > 0 {
+			score = sum / float64(n)
+		}
+		r.Items = append(r.Items, RankedNode{ID: v, Side: bipartite.ItemSide, Score: score})
+	}
+	sortRanked(r.Users)
+	sortRanked(r.Items)
+	return r
+}
+
+func sortRanked(nodes []RankedNode) {
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Score != nodes[j].Score {
+			return nodes[i].Score > nodes[j].Score
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+}
+
+// TopUsers returns the k highest-risk users (fewer if the ranking is short).
+func (r Ranking) TopUsers(k int) []RankedNode { return top(r.Users, k) }
+
+// TopItems returns the k highest-risk items.
+func (r Ranking) TopItems(k int) []RankedNode { return top(r.Items, k) }
+
+func top(nodes []RankedNode, k int) []RankedNode {
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return nodes[:k]
+}
+
+// FeedbackResult reports the outcome of the feedback-based parameter
+// adjustment loop.
+type FeedbackResult struct {
+	Result *detect.Result
+	// Params are the final, possibly relaxed parameters.
+	Params Params
+	// Iterations is the number of detection runs performed (≥ 1).
+	Iterations int
+	// MetExpectation reports whether the final output size reached the
+	// end-user's expectation.
+	MetExpectation bool
+}
+
+// DetectWithFeedback runs the RICD detector, and while the number of output
+// nodes falls short of the end-user's expectation, relaxes the parameters
+// the way Section V-B describes (decrease T_click first — it is the most
+// interpretable knob — then α, then the size bounds k₁/k₂) and retries, up
+// to maxIters runs. Relaxation increases recall at the cost of precision.
+func DetectWithFeedback(g *bipartite.Graph, p Params, expectation, maxIters int) (FeedbackResult, error) {
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	fr := FeedbackResult{Params: p}
+	for i := 0; i < maxIters; i++ {
+		d := &Detector{Params: fr.Params}
+		res, err := d.Detect(g)
+		if err != nil {
+			return fr, err
+		}
+		fr.Result = res
+		fr.Iterations = i + 1
+		if res.NumNodes() >= expectation {
+			fr.MetExpectation = true
+			return fr, nil
+		}
+		relaxed, ok := relax(fr.Params)
+		if !ok {
+			return fr, nil // nothing left to relax
+		}
+		fr.Params = relaxed
+	}
+	return fr, nil
+}
+
+// relax loosens parameters one notch; it returns ok=false once every knob
+// is at its floor.
+func relax(p Params) (Params, bool) {
+	switch {
+	case p.TClick > 4:
+		p.TClick -= 2
+	case p.Alpha > 0.7:
+		p.Alpha -= 0.1
+		if p.Alpha < 0.7 {
+			p.Alpha = 0.7
+		}
+	case p.K1 > 4 || p.K2 > 4:
+		if p.K1 > 4 {
+			p.K1--
+		}
+		if p.K2 > 4 {
+			p.K2--
+		}
+	default:
+		return p, false
+	}
+	return p, true
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+// NaiveDetector implements Algorithm 1 of the paper: classify items into hot
+// and new, give every user an Alpha score (its total clicks on hot items),
+// score every item by the sum of its clickers' Alphas, and flag items whose
+// risk score exceeds T_risk. Users are then flagged symmetrically by the
+// clicks they spend on flagged items.
+//
+// The naive detector judges each node independently — it is fast and
+// intuitive but ignores group structure, which is exactly the weakness RICD
+// addresses (Section V-A).
+type NaiveDetector struct {
+	Params Params
+}
+
+// Name implements detect.Detector.
+func (d *NaiveDetector) Name() string { return "Naive" }
+
+// Detect implements detect.Detector. The input graph is not mutated.
+func (d *NaiveDetector) Detect(g *bipartite.Graph) (*detect.Result, error) {
+	if err := d.Params.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	p := d.Params
+
+	// Line 2-6: split items into hot and new (potential targets).
+	hot := ComputeHotSet(g, p.THot)
+
+	// Line 7-8: Alpha(u) = user's total clicks on hot items.
+	alpha := make([]float64, g.NumUsers())
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		var a float64
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+			if hot.IsHot(v) {
+				a += float64(w)
+			}
+			return true
+		})
+		alpha[u] = a
+		return true
+	})
+
+	// Line 9-12: item risk = Σ Alpha over clickers; flag risk > T_risk.
+	// Hot items are never flagged: they are victims, not targets.
+	var items []bipartite.NodeID
+	itemFlag := make([]bool, g.NumItems())
+	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if hot.IsHot(v) {
+			return true
+		}
+		var risk float64
+		g.EachItemNeighbor(v, func(u bipartite.NodeID, _ uint32) bool {
+			risk += alpha[u]
+			return true
+		})
+		if risk > p.TRisk {
+			itemFlag[v] = true
+			items = append(items, v)
+		}
+		return true
+	})
+
+	// Symmetric pass: a user is abnormal if it spends ≥ T_click clicks on
+	// some flagged item (the crowd-worker signature of Section IV-A).
+	var users []bipartite.NodeID
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		abnormal := false
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+			if itemFlag[v] && w >= p.TClick {
+				abnormal = true
+				return false
+			}
+			return true
+		})
+		if abnormal {
+			users = append(users, u)
+		}
+		return true
+	})
+
+	res := &detect.Result{Elapsed: time.Since(start)}
+	res.DetectElapsed = res.Elapsed
+	if len(users) > 0 || len(items) > 0 {
+		res.Groups = []detect.Group{{Users: users, Items: items}}
+	}
+	return res, nil
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+// This file implements Algorithm 3: the (α,k₁,k₂)-extension biclique
+// extraction algorithm, consisting of CorePruning (degree conditions,
+// Lemma 1) and SquarePruning ((α,k)-neighbor conditions, Lemma 2).
+//
+// Both conditions are monotone: removing any vertex can only lower other
+// vertices' live degrees and common-neighbor counts. The set of vertices
+// satisfying both conditions therefore has a unique maximal fixpoint, which
+// the default mode computes by alternating batch rounds (safe to evaluate in
+// parallel because each round inspects a frozen graph and removals are
+// applied between rounds). Params.SinglePass instead performs one sequential
+// pass of each stage with immediate removals, matching the literal
+// pseudocode.
+
+// PruneStats reports what pruning removed.
+type PruneStats struct {
+	UsersRemoved int
+	ItemsRemoved int
+	Rounds       int
+}
+
+// Prune runs Core + Square pruning on g in place and returns removal
+// statistics. After Prune returns (in fixpoint mode), every surviving user
+// has live degree ≥ ⌈α·k₂⌉ and at least k₁ (α,k₂)-neighbors, and every
+// surviving item has live degree ≥ ⌈α·k₁⌉ and at least k₂ (α,k₁)-neighbors.
+func Prune(g *bipartite.Graph, p Params) PruneStats {
+	if p.SinglePass {
+		return pruneSinglePass(g, p)
+	}
+	return pruneFixpoint(g, p)
+}
+
+func pruneFixpoint(g *bipartite.Graph, p Params) PruneStats {
+	var st PruneStats
+	for {
+		st.Rounds++
+		removed := corePruneFixpoint(g, p)
+		uVictims := squareRoundUsers(g, p)
+		for _, u := range uVictims {
+			g.RemoveUser(u)
+		}
+		iVictims := squareRoundItems(g, p)
+		for _, v := range iVictims {
+			g.RemoveItem(v)
+		}
+		st.UsersRemoved += removed.UsersRemoved + len(uVictims)
+		st.ItemsRemoved += removed.ItemsRemoved + len(iVictims)
+		if len(uVictims) == 0 && len(iVictims) == 0 {
+			return st
+		}
+	}
+}
+
+func pruneSinglePass(g *bipartite.Graph, p Params) PruneStats {
+	var st PruneStats
+	st.Rounds = 1
+	minUDeg := ceilMul(p.K2, p.Alpha)
+	minIDeg := ceilMul(p.K1, p.Alpha)
+
+	// CorePruning, literal: one scan of users, then one scan of items,
+	// reading live degrees (so earlier removals are visible).
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		if g.UserDegree(u) < minUDeg {
+			g.RemoveUser(u)
+			st.UsersRemoved++
+		}
+		return true
+	})
+	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if g.ItemDegree(v) < minIDeg {
+			g.RemoveItem(v)
+			st.ItemsRemoved++
+		}
+		return true
+	})
+
+	// SquarePruning, literal: sequential scans with immediate removal.
+	needU := ceilMul(p.K2, p.Alpha)
+	counter := newCommonCounter(g.NumUsers(), g.NumItems())
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		if !squareSurvivesUser(g, u, needU, p.K1, counter) {
+			g.RemoveUser(u)
+			st.UsersRemoved++
+		}
+		return true
+	})
+	needI := ceilMul(p.K1, p.Alpha)
+	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if !squareSurvivesItem(g, v, needI, p.K2, counter) {
+			g.RemoveItem(v)
+			st.ItemsRemoved++
+		}
+		return true
+	})
+	return st
+}
+
+// corePruneFixpoint removes vertices violating the Lemma 1 degree bounds
+// until stable, propagating removals through a work queue.
+func corePruneFixpoint(g *bipartite.Graph, p Params) PruneStats {
+	var st PruneStats
+	minUDeg := ceilMul(p.K2, p.Alpha)
+	minIDeg := ceilMul(p.K1, p.Alpha)
+
+	type node struct {
+		id   bipartite.NodeID
+		side bipartite.Side
+	}
+	var queue []node
+
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		if g.UserDegree(u) < minUDeg {
+			queue = append(queue, node{u, bipartite.UserSide})
+		}
+		return true
+	})
+	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if g.ItemDegree(v) < minIDeg {
+			queue = append(queue, node{v, bipartite.ItemSide})
+		}
+		return true
+	})
+
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if n.side == bipartite.UserSide {
+			if !g.UserAlive(n.id) {
+				continue
+			}
+			// Collect neighbors before removal so we can recheck them.
+			var nbrs []bipartite.NodeID
+			g.EachUserNeighbor(n.id, func(v bipartite.NodeID, _ uint32) bool {
+				nbrs = append(nbrs, v)
+				return true
+			})
+			g.RemoveUser(n.id)
+			st.UsersRemoved++
+			for _, v := range nbrs {
+				if g.ItemAlive(v) && g.ItemDegree(v) < minIDeg {
+					queue = append(queue, node{v, bipartite.ItemSide})
+				}
+			}
+		} else {
+			if !g.ItemAlive(n.id) {
+				continue
+			}
+			var nbrs []bipartite.NodeID
+			g.EachItemNeighbor(n.id, func(u bipartite.NodeID, _ uint32) bool {
+				nbrs = append(nbrs, u)
+				return true
+			})
+			g.RemoveItem(n.id)
+			st.ItemsRemoved++
+			for _, u := range nbrs {
+				if g.UserAlive(u) && g.UserDegree(u) < minUDeg {
+					queue = append(queue, node{u, bipartite.UserSide})
+				}
+			}
+		}
+	}
+	return st
+}
+
+// commonCounter is a reusable dense counter for common-neighbor counting.
+// countsU/countsI are indexed by vertex ID; touched remembers which slots to
+// reset, keeping amortized cost proportional to work done.
+type commonCounter struct {
+	countsU []int32
+	countsI []int32
+	touched []bipartite.NodeID
+	nbrs    []bipartite.NodeID
+}
+
+func newCommonCounter(numUsers, numItems int) *commonCounter {
+	return &commonCounter{
+		countsU: make([]int32, numUsers),
+		countsI: make([]int32, numItems),
+	}
+}
+
+// squareSurvivesUser reports whether user u has at least k1 users (itself
+// included, per Definition 4: u trivially shares all deg(u) ≥ need neighbors
+// with itself) whose common-item count with u is ≥ need.
+//
+// Items are scanned in ascending counterpart-degree order with an online
+// exit: a vertex's (α,k)-neighbor count can only be certified after `need`
+// items have been merged, and attack targets (low degree) certify their
+// co-attackers long before the expensive hot-item adjacencies are touched —
+// the candidate-ordering heuristic the paper adopts from reduce2Hop.
+func squareSurvivesUser(g *bipartite.Graph, u bipartite.NodeID, need, k1 int, c *commonCounter) bool {
+	c.nbrs = c.nbrs[:0]
+	g.EachUserNeighbor(u, func(v bipartite.NodeID, _ uint32) bool {
+		c.nbrs = append(c.nbrs, v)
+		return true
+	})
+	sortByDegree(c.nbrs, g.ItemDegree)
+
+	c.touched = c.touched[:0]
+	num := 0
+	ok := false
+	for _, v := range c.nbrs {
+		g.EachItemNeighbor(v, func(u2 bipartite.NodeID, _ uint32) bool {
+			if c.countsU[u2] == 0 {
+				c.touched = append(c.touched, u2)
+			}
+			c.countsU[u2]++
+			if int(c.countsU[u2]) == need {
+				num++
+				if num >= k1 {
+					ok = true
+					return false
+				}
+			}
+			return true
+		})
+		if ok {
+			break
+		}
+	}
+	for _, u2 := range c.touched {
+		c.countsU[u2] = 0
+	}
+	return ok
+}
+
+// squareSurvivesItem is the item-side dual of squareSurvivesUser.
+func squareSurvivesItem(g *bipartite.Graph, v bipartite.NodeID, need, k2 int, c *commonCounter) bool {
+	c.nbrs = c.nbrs[:0]
+	g.EachItemNeighbor(v, func(u bipartite.NodeID, _ uint32) bool {
+		c.nbrs = append(c.nbrs, u)
+		return true
+	})
+	sortByDegree(c.nbrs, g.UserDegree)
+
+	c.touched = c.touched[:0]
+	num := 0
+	ok := false
+	for _, u := range c.nbrs {
+		g.EachUserNeighbor(u, func(v2 bipartite.NodeID, _ uint32) bool {
+			if c.countsI[v2] == 0 {
+				c.touched = append(c.touched, v2)
+			}
+			c.countsI[v2]++
+			if int(c.countsI[v2]) == need {
+				num++
+				if num >= k2 {
+					ok = true
+					return false
+				}
+			}
+			return true
+		})
+		if ok {
+			break
+		}
+	}
+	for _, v2 := range c.touched {
+		c.countsI[v2] = 0
+	}
+	return ok
+}
+
+func sortByDegree(ids []bipartite.NodeID, deg func(bipartite.NodeID) int) {
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := deg(ids[i]), deg(ids[j])
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// squareRoundUsers evaluates the user-side square condition for every live
+// user against the frozen graph, in parallel, and returns the victims.
+func squareRoundUsers(g *bipartite.Graph, p Params) []bipartite.NodeID {
+	need := ceilMul(p.K2, p.Alpha)
+	ids := g.LiveUserIDs()
+	return parallelFilter(ids, p.workers(), func(c *commonCounter, u bipartite.NodeID) bool {
+		return !squareSurvivesUser(g, u, need, p.K1, c)
+	}, g)
+}
+
+// squareRoundItems is the item-side dual of squareRoundUsers.
+func squareRoundItems(g *bipartite.Graph, p Params) []bipartite.NodeID {
+	need := ceilMul(p.K1, p.Alpha)
+	ids := g.LiveItemIDs()
+	return parallelFilter(ids, p.workers(), func(c *commonCounter, v bipartite.NodeID) bool {
+		return !squareSurvivesItem(g, v, need, p.K2, c)
+	}, g)
+}
+
+// parallelFilter returns the IDs for which pred is true, preserving input
+// order. Each worker owns a private counter.
+func parallelFilter(ids []bipartite.NodeID, workers int,
+	pred func(*commonCounter, bipartite.NodeID) bool, g *bipartite.Graph) []bipartite.NodeID {
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		c := newCommonCounter(g.NumUsers(), g.NumItems())
+		var out []bipartite.NodeID
+		for _, id := range ids {
+			if pred(c, id) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	keep := make([]bool, len(ids))
+	var wg sync.WaitGroup
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			c := newCommonCounter(g.NumUsers(), g.NumItems())
+			for i := lo; i < hi; i++ {
+				keep[i] = pred(c, ids[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	var out []bipartite.NodeID
+	for i, k := range keep {
+		if k {
+			out = append(out, ids[i])
+		}
+	}
+	return out
+}
+
+// ExtractGroups splits the pruned residual graph into connected components
+// and keeps those satisfying the size bounds |L| ≥ k₁, |R| ≥ k₂ of
+// Definition 3 (this is also the explicit group-size control of desired
+// property (4b): components too small to be a coordinated attack — e.g.
+// group-buying clusters around a single item — are discarded).
+func ExtractGroups(g *bipartite.Graph, p Params) []detect.Group {
+	var groups []detect.Group
+	for _, comp := range bipartite.ConnectedComponents(g) {
+		if len(comp.Users) >= p.K1 && len(comp.Items) >= p.K2 {
+			groups = append(groups, detect.Group{Users: comp.Users, Items: comp.Items})
+		}
+	}
+	return groups
+}

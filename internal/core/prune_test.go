@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// plantedGraph builds a graph with a perfect nU×nI biclique (users 0..nU-1,
+// items 0..nI-1, weight w) plus sparse random noise users/items appended
+// after the biclique IDs.
+func plantedGraph(nU, nI int, w uint32, noiseUsers, noiseItems, noiseEdges int, seed int64) *bipartite.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := bipartite.NewBuilder(nU+noiseUsers, nI+noiseItems)
+	for u := 0; u < nU; u++ {
+		for v := 0; v < nI; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), w)
+		}
+	}
+	for e := 0; e < noiseEdges; e++ {
+		u := bipartite.NodeID(nU + rng.Intn(noiseUsers))
+		v := bipartite.NodeID(nI + rng.Intn(noiseItems))
+		b.Add(u, v, uint32(1+rng.Intn(3)))
+	}
+	return b.Build()
+}
+
+func params(k1, k2 int, alpha float64) Params {
+	p := DefaultParams()
+	p.K1, p.K2, p.Alpha = k1, k2, alpha
+	return p
+}
+
+func TestPruneKeepsBicliqueRemovesNoise(t *testing.T) {
+	g := plantedGraph(12, 12, 5, 50, 50, 120, 1)
+	p := params(10, 10, 1.0)
+	st := Prune(g, p)
+	// All 12 biclique users/items survive; the sparse noise cannot.
+	for u := bipartite.NodeID(0); u < 12; u++ {
+		if !g.UserAlive(u) {
+			t.Errorf("biclique user %d pruned", u)
+		}
+	}
+	for v := bipartite.NodeID(0); v < 12; v++ {
+		if !g.ItemAlive(v) {
+			t.Errorf("biclique item %d pruned", v)
+		}
+	}
+	if g.LiveUsers() != 12 || g.LiveItems() != 12 {
+		t.Errorf("survivors = %d users / %d items, want 12/12 (stats %+v)",
+			g.LiveUsers(), g.LiveItems(), st)
+	}
+}
+
+func TestPruneRemovesBicliqueBelowThreshold(t *testing.T) {
+	g := plantedGraph(8, 8, 5, 0, 0, 0, 1)
+	p := params(10, 10, 1.0)
+	Prune(g, p)
+	if g.LiveUsers() != 0 || g.LiveItems() != 0 {
+		t.Errorf("8×8 biclique should not survive k=10 pruning: %v", g)
+	}
+}
+
+func TestPruneAlphaRelaxation(t *testing.T) {
+	// An 11×11 biclique with one user-item edge deleted per user (a
+	// near-biclique): common neighbors between users drop to 9-10, so
+	// α = 1.0 with k₂ = 11 prunes it but α = 0.8 keeps it.
+	b := bipartite.NewBuilder(11, 11)
+	for u := 0; u < 11; u++ {
+		for v := 0; v < 11; v++ {
+			if v == u { // knock out the diagonal
+				continue
+			}
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 5)
+		}
+	}
+	strict := b.Build()
+	relaxedG := strict.Clone()
+
+	pStrict := params(11, 11, 1.0)
+	Prune(strict, pStrict)
+	if strict.LiveUsers() != 0 {
+		t.Errorf("α=1.0 should prune the holed biclique, %d users left", strict.LiveUsers())
+	}
+
+	prelax := params(11, 11, 0.8)
+	Prune(relaxedG, pRelaxFix(prelax))
+	if relaxedG.LiveUsers() != 11 || relaxedG.LiveItems() != 11 {
+		t.Errorf("α=0.8 should keep the holed biclique: %d users / %d items",
+			relaxedG.LiveUsers(), relaxedG.LiveItems())
+	}
+}
+
+func pRelaxFix(p Params) Params { return p }
+
+func TestCorePruneCascades(t *testing.T) {
+	// A path u0—v0—u1—v1—…: every vertex has degree ≤ 2, so with
+	// k₁ = k₂ = 3, α = 1 core pruning alone must empty the graph through
+	// cascading removals.
+	b := bipartite.NewBuilder(6, 6)
+	for i := 0; i < 6; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1)
+		if i+1 < 6 {
+			b.Add(bipartite.NodeID(i+1), bipartite.NodeID(i), 1)
+		}
+	}
+	g := b.Build()
+	p := params(3, 3, 1.0)
+	Prune(g, p)
+	if g.LiveUsers() != 0 || g.LiveItems() != 0 {
+		t.Errorf("path should be fully pruned: %v", g)
+	}
+}
+
+func TestSinglePassWeakerThanFixpoint(t *testing.T) {
+	// The single pass follows the literal pseudocode and does not iterate,
+	// so it may leave vertices a fixpoint would remove — it must never
+	// remove MORE than the fixpoint (both respect the same monotone
+	// conditions, and the fixpoint is maximal).
+	g1 := plantedGraph(12, 12, 5, 60, 60, 400, 7)
+	g2 := g1.Clone()
+
+	pFix := params(10, 10, 1.0)
+	Prune(g1, pFix)
+
+	pOne := pFix
+	pOne.SinglePass = true
+	Prune(g2, pOne)
+
+	// Every fixpoint survivor also survives the single pass.
+	g1.EachLiveUser(func(u bipartite.NodeID) bool {
+		if !g2.UserAlive(u) {
+			t.Errorf("user %d survives fixpoint but not single pass", u)
+		}
+		return true
+	})
+	g1.EachLiveItem(func(v bipartite.NodeID) bool {
+		if !g2.ItemAlive(v) {
+			t.Errorf("item %d survives fixpoint but not single pass", v)
+		}
+		return true
+	})
+}
+
+func TestPruneFixpointPostconditions(t *testing.T) {
+	// After fixpoint pruning, every survivor satisfies Lemma 1 (degree)
+	// and Lemma 2 (number of (α,k)-neighbors, self included).
+	g := plantedGraph(14, 13, 4, 80, 80, 600, 3)
+	p := params(10, 10, 0.9)
+	Prune(g, p)
+
+	minUDeg := ceilMul(p.K2, p.Alpha)
+	minIDeg := ceilMul(p.K1, p.Alpha)
+	counter := newCommonCounter(g.NumUsers(), g.NumItems())
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		if g.UserDegree(u) < minUDeg {
+			t.Errorf("user %d degree %d < %d", u, g.UserDegree(u), minUDeg)
+		}
+		if !squareSurvivesUser(g, u, ceilMul(p.K2, p.Alpha), p.K1, counter) {
+			t.Errorf("user %d violates square condition at fixpoint", u)
+		}
+		return true
+	})
+	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if g.ItemDegree(v) < minIDeg {
+			t.Errorf("item %d degree %d < %d", v, g.ItemDegree(v), minIDeg)
+		}
+		if !squareSurvivesItem(g, v, ceilMul(p.K1, p.Alpha), p.K2, counter) {
+			t.Errorf("item %d violates square condition at fixpoint", v)
+		}
+		return true
+	})
+}
+
+func TestParallelFilterMatchesSerial(t *testing.T) {
+	g := plantedGraph(12, 12, 5, 100, 100, 800, 11)
+	pSerial := params(10, 10, 1.0)
+	pSerial.Workers = 1
+	pPar := pSerial
+	pPar.Workers = 8
+
+	serialU := squareRoundUsers(g, pSerial)
+	parU := squareRoundUsers(g, pPar)
+	if len(serialU) != len(parU) {
+		t.Fatalf("victim counts differ: serial %d, parallel %d", len(serialU), len(parU))
+	}
+	for i := range serialU {
+		if serialU[i] != parU[i] {
+			t.Errorf("victim %d differs: %d vs %d", i, serialU[i], parU[i])
+		}
+	}
+}
+
+func TestExtractGroupsSizeFilter(t *testing.T) {
+	// Two disjoint bicliques: 12×12 and 5×5. With k₁=k₂=10 only the first
+	// qualifies as a group after pruning.
+	b := bipartite.NewBuilder(17, 17)
+	for u := 0; u < 12; u++ {
+		for v := 0; v < 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 3)
+		}
+	}
+	for u := 12; u < 17; u++ {
+		for v := 12; v < 17; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 3)
+		}
+	}
+	g := b.Build()
+	p := params(10, 10, 1.0)
+	groups := NearBicliqueExtract(g, p)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	if len(groups[0].Users) != 12 || len(groups[0].Items) != 12 {
+		t.Errorf("group = %d users / %d items, want 12/12",
+			len(groups[0].Users), len(groups[0].Items))
+	}
+}
+
+func TestExtractTwoSeparateGroups(t *testing.T) {
+	// Two disjoint 11×11 bicliques must come back as two groups.
+	b := bipartite.NewBuilder(22, 22)
+	for blk := 0; blk < 2; blk++ {
+		off := blk * 11
+		for u := 0; u < 11; u++ {
+			for v := 0; v < 11; v++ {
+				b.Add(bipartite.NodeID(off+u), bipartite.NodeID(off+v), 3)
+			}
+		}
+	}
+	g := b.Build()
+	groups := NearBicliqueExtract(g, params(10, 10, 1.0))
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+}
+
+func TestPruneEmptyGraph(t *testing.T) {
+	g := bipartite.NewGraph(0, 0)
+	st := Prune(g, params(10, 10, 1.0))
+	if st.UsersRemoved != 0 || st.ItemsRemoved != 0 {
+		t.Errorf("empty graph pruning removed something: %+v", st)
+	}
+}

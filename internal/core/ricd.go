@@ -1,0 +1,140 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+// Variant selects how much of the RICD pipeline runs; the reduced variants
+// are the ablation baselines of the paper's Table VI.
+type Variant int
+
+const (
+	// VariantFull is the complete framework: group detection, user
+	// behavior check, item behavior verification, identification.
+	VariantFull Variant = iota
+	// VariantUI removes the whole screening module (RICD-UI in Table VI):
+	// raw extracted groups are reported as-is.
+	VariantUI
+	// VariantI removes only the item behavior verification step (RICD-I):
+	// users are checked, hot items are excluded, but ordinary in-group
+	// items skip the coincidence verification.
+	VariantI
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantUI:
+		return "RICD-UI"
+	case VariantI:
+		return "RICD-I"
+	default:
+		return "RICD"
+	}
+}
+
+// Detector is the RICD framework as a detect.Detector.
+type Detector struct {
+	Params  Params
+	Variant Variant
+	// Seeds optionally restricts group detection to the neighborhoods of
+	// known abnormal nodes (Algorithm 2's auxiliary input).
+	Seeds detect.Seeds
+}
+
+// Name implements detect.Detector.
+func (d *Detector) Name() string { return d.Variant.String() }
+
+// Detect implements detect.Detector: it runs the three modules of Fig 4 in
+// sequence. The input graph is not mutated.
+func (d *Detector) Detect(g *bipartite.Graph) (*detect.Result, error) {
+	if err := d.Params.Validate(); err != nil {
+		return nil, err
+	}
+	p := d.Params
+	start := time.Now()
+
+	// Module 1: suspicious group detection. Hotness is classified on the
+	// full input graph before pruning.
+	hot := ComputeHotSet(g, p.THot)
+	work := GraphGenerator(g, d.Seeds)
+	groups := NearBicliqueExtract(work, p)
+	detectDone := time.Now()
+
+	// Module 2: suspicious group screening (variant-dependent).
+	switch d.Variant {
+	case VariantUI:
+		// No screening at all.
+	case VariantI:
+		groups = screenUsersOnly(g, groups, hot, p)
+	default:
+		groups = ScreenGroups(g, groups, hot, p)
+	}
+
+	// Module 3: identification — score groups so the most suspicious come
+	// first; per-node rankings are available via RankResult.
+	res := &detect.Result{Groups: groups}
+	scoreGroups(g, res)
+	res.DetectElapsed = detectDone.Sub(start)
+	res.ScreenElapsed = time.Since(detectDone)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// screenUsersOnly is the RICD-I screening: user behavior check plus hot-item
+// exclusion, without item behavior verification.
+func screenUsersOnly(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Params) []detect.Group {
+	var out []detect.Group
+	for _, grp := range groups {
+		users := UserBehaviorCheck(g, grp, hot, p)
+		if len(users) < p.K1 {
+			continue
+		}
+		var items []bipartite.NodeID
+		for _, v := range grp.Items {
+			if !hot.IsHot(v) {
+				items = append(items, v)
+			}
+		}
+		if len(items) < p.K2 {
+			continue
+		}
+		out = append(out, detect.Group{Users: users, Items: items})
+	}
+	return out
+}
+
+// scoreGroups assigns every group the mean user risk score of its members
+// and orders groups most-suspicious-first.
+func scoreGroups(g *bipartite.Graph, res *detect.Result) {
+	if len(res.Groups) == 0 {
+		return
+	}
+	ranking := RankResult(g, res)
+	userScore := make(map[bipartite.NodeID]float64, len(ranking.Users))
+	for _, n := range ranking.Users {
+		userScore[n.ID] = n.Score
+	}
+	for i := range res.Groups {
+		grp := &res.Groups[i]
+		var sum float64
+		for _, u := range grp.Users {
+			sum += userScore[u]
+		}
+		if len(grp.Users) > 0 {
+			grp.Score = sum / float64(len(grp.Users))
+		}
+	}
+	sortGroupsByScore(res.Groups)
+}
+
+func sortGroupsByScore(groups []detect.Group) {
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j].Score > groups[j-1].Score; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+}

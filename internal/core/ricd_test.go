@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// smallParams are tuned for synth.SmallConfig (2k users, 400 items): the
+// hot range of that marketplace sits around 400+ clicks.
+func smallParams() Params {
+	p := DefaultParams()
+	p.THot = 400
+	return p
+}
+
+func TestRICDEndToEndOnSyntheticAttack(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d := &Detector{Params: smallParams()}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("RICD found no groups on a dataset with 3 implanted attacks")
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	t.Logf("RICD small: %v, %d groups", ev, len(res.Groups))
+	if ev.Precision < 0.8 {
+		t.Errorf("precision = %v, want ≥ 0.8", ev.Precision)
+	}
+	if ev.Recall < 0.5 {
+		t.Errorf("recall = %v, want ≥ 0.5", ev.Recall)
+	}
+}
+
+func TestRICDDoesNotMutateInput(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	before := ds.Graph.LiveEdges()
+	d := &Detector{Params: smallParams()}
+	if _, err := d.Detect(ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.LiveEdges() != before {
+		t.Error("Detect mutated the input graph")
+	}
+}
+
+func TestRICDVariantsOrdering(t *testing.T) {
+	// Precision must increase UI → I → Full; recall must not increase
+	// (Table VI shape).
+	ds := synth.MustGenerate(synth.SmallConfig())
+	run := func(v Variant) metrics.Eval {
+		d := &Detector{Params: smallParams(), Variant: v}
+		res, err := d.Detect(ds.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Evaluate(res, ds.Truth)
+	}
+	ui := run(VariantUI)
+	i := run(VariantI)
+	full := run(VariantFull)
+	t.Logf("UI: %v\nI:  %v\nFull: %v", ui, i, full)
+	if !(full.Precision >= i.Precision && i.Precision >= ui.Precision) {
+		t.Errorf("precision not monotone UI≤I≤Full: %v %v %v",
+			ui.Precision, i.Precision, full.Precision)
+	}
+	if ui.Recall < full.Recall {
+		t.Errorf("UI recall %v < Full recall %v; screening should not add nodes",
+			ui.Recall, full.Recall)
+	}
+}
+
+func TestRICDVariantNames(t *testing.T) {
+	cases := map[Variant]string{VariantFull: "RICD", VariantUI: "RICD-UI", VariantI: "RICD-I"}
+	for v, want := range cases {
+		d := &Detector{Variant: v}
+		if d.Name() != want {
+			t.Errorf("Name(%d) = %q, want %q", v, d.Name(), want)
+		}
+	}
+}
+
+func TestRICDRejectsBadParams(t *testing.T) {
+	d := &Detector{Params: Params{}}
+	if _, err := d.Detect(bipartite.NewGraph(1, 1)); err == nil {
+		t.Error("expected parameter validation error")
+	}
+}
+
+func TestRICDTimingSplit(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d := &Detector{Params: smallParams()}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectElapsed <= 0 || res.Elapsed < res.DetectElapsed {
+		t.Errorf("timings inconsistent: detect=%v screen=%v total=%v",
+			res.DetectElapsed, res.ScreenElapsed, res.Elapsed)
+	}
+}
+
+func TestRICDGroupsSortedByScore(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d := &Detector{Params: smallParams()}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Groups); i++ {
+		if res.Groups[i].Score > res.Groups[i-1].Score {
+			t.Errorf("groups not sorted by score: %v then %v",
+				res.Groups[i-1].Score, res.Groups[i].Score)
+		}
+	}
+}
+
+func TestRICDWithSeedsFindsSeededGroup(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	seedUser := ds.Groups[0].Attackers[0]
+	d := &Detector{
+		Params: smallParams(),
+		Seeds:  detect.Seeds{Users: []bipartite.NodeID{seedUser}},
+	}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := map[bipartite.NodeID]bool{}
+	for _, u := range res.Users() {
+		users[u] = true
+	}
+	found := 0
+	for _, a := range ds.Groups[0].Attackers {
+		if users[a] {
+			found++
+		}
+	}
+	if found < len(ds.Groups[0].Attackers)/2 {
+		t.Errorf("seeded detection found only %d/%d attackers of the seeded group",
+			found, len(ds.Groups[0].Attackers))
+	}
+}
+
+func TestGraphGeneratorNoSeedsClones(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	work := GraphGenerator(ds.Graph, detect.Seeds{})
+	if work.LiveEdges() != ds.Graph.LiveEdges() {
+		t.Error("no-seed GraphGenerator should keep the whole graph")
+	}
+	work.RemoveUser(0)
+	if !ds.Graph.UserAlive(0) {
+		t.Error("GraphGenerator returned an aliased graph")
+	}
+}
+
+func TestGraphGeneratorSeedsShrinkGraph(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	seedUser := ds.Groups[0].Attackers[0]
+	work := GraphGenerator(ds.Graph, detect.Seeds{Users: []bipartite.NodeID{seedUser}})
+	if work.LiveUsers() >= ds.Graph.LiveUsers() {
+		t.Errorf("seeded graph not smaller: %d vs %d users",
+			work.LiveUsers(), ds.Graph.LiveUsers())
+	}
+	// The seeded group's members must all be inside the expansion.
+	for _, a := range ds.Groups[0].Attackers {
+		if !work.UserAlive(a) {
+			t.Errorf("co-attacker %d missing from seed expansion", a)
+		}
+	}
+	for _, v := range ds.Groups[0].Targets {
+		if !work.ItemAlive(v) {
+			t.Errorf("target %d missing from seed expansion", v)
+		}
+	}
+}
+
+func TestGraphGeneratorItemSeed(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	seedItem := ds.Groups[1].Targets[0]
+	work := GraphGenerator(ds.Graph, detect.Seeds{Items: []bipartite.NodeID{seedItem}})
+	for _, a := range ds.Groups[1].Attackers {
+		if !work.UserAlive(a) {
+			t.Errorf("attacker %d missing from item-seed expansion", a)
+		}
+	}
+}

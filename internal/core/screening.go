@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+// This file implements the Suspicious Group Screening module: the user
+// behavior check (Fig 5) and the item behavior verification (Fig 6). Both
+// steps read the ORIGINAL click graph — screening judges behavior against
+// real weights and the marketplace-wide hot classification, not against the
+// pruned residual.
+
+// UserBehaviorCheck filters a candidate group's users down to those whose
+// in-group click pattern matches the crowd-worker profile of Section IV-A:
+//
+//	(1) at least one in-group ordinary (non-hot) item clicked ≥ T_click
+//	    times — the attack signature of Fig 5;
+//	(2) optionally (MaxHotAvg > 0), average clicks on in-group hot items
+//	    below MaxHotAvg — attackers touch hot items as little as possible
+//	    (Section IV-A characteristic (2); optimal strategy: once).
+//
+// In the paper's Fig 5 example this is what removes u₁, whose only strong
+// edges go to a hot item.
+func UserBehaviorCheck(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params) []bipartite.NodeID {
+	inGroup := make(map[bipartite.NodeID]bool, len(grp.Items))
+	for _, v := range grp.Items {
+		inGroup[v] = true
+	}
+	var kept []bipartite.NodeID
+	for _, u := range grp.Users {
+		var hotClicks, hotEdges int
+		hasAttackEdge := false
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+			if !inGroup[v] {
+				return true
+			}
+			if hot.IsHot(v) {
+				hotClicks += int(w)
+				hotEdges++
+			} else if w >= p.TClick {
+				hasAttackEdge = true
+			}
+			return true
+		})
+		if !hasAttackEdge {
+			continue
+		}
+		if p.MaxHotAvg > 0 && hotEdges > 0 &&
+			float64(hotClicks)/float64(hotEdges) >= p.MaxHotAvg {
+			continue
+		}
+		kept = append(kept, u)
+	}
+	return kept
+}
+
+// ItemBehaviorVerification filters a group's items down to verified attack
+// targets, given the users that survived the user behavior check:
+//
+//   - hot items are excluded — they are the ridden victims, not targets;
+//   - an ordinary item is a verified target iff at least ⌈α·k₁⌉ surviving
+//     users clicked it ≥ T_click times (the clicked-user-set coincidence
+//     test of Fig 6 — targets of one group share their attacker set);
+//   - an ordinary item whose in-group clicks are uniformly a factor
+//     DisguiseRatio below the users' target clicks is camouflage (the
+//     C³₂ ≫ C³₁ case) and is dropped by the same supporter test, since
+//     camouflage weights sit far below T_click.
+func ItemBehaviorVerification(g *bipartite.Graph, items []bipartite.NodeID,
+	users []bipartite.NodeID, hot *HotSet, p Params) []bipartite.NodeID {
+
+	userSet := make(map[bipartite.NodeID]bool, len(users))
+	for _, u := range users {
+		userSet[u] = true
+	}
+	minSupporters := ceilMul(p.K1, p.Alpha)
+	var kept []bipartite.NodeID
+	for _, v := range items {
+		if hot.IsHot(v) {
+			continue
+		}
+		supporters := 0
+		verified := false
+		g.EachItemNeighbor(v, func(u bipartite.NodeID, w uint32) bool {
+			if userSet[u] && w >= p.TClick {
+				supporters++
+				if supporters >= minSupporters {
+					verified = true
+					return false
+				}
+			}
+			return true
+		})
+		if verified {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
+// DisguisedHotEdge reports whether user u's edge to in-group item v looks
+// like a disguise: u's median click weight on the verified targets exceeds
+// DisguiseRatio × w(u,v). This is the explicit C³₂ ≫ C³₁ test of Fig 6,
+// exposed for analysis tooling; the screening pipeline subsumes it through
+// the supporter test.
+func DisguisedHotEdge(g *bipartite.Graph, u, v bipartite.NodeID,
+	targets []bipartite.NodeID, p Params) bool {
+
+	w := g.Weight(u, v)
+	if w == 0 {
+		return false
+	}
+	var weights []uint32
+	for _, t := range targets {
+		if tw := g.Weight(u, t); tw > 0 {
+			weights = append(weights, tw)
+		}
+	}
+	if len(weights) == 0 {
+		return false
+	}
+	med := medianU32(weights)
+	return float64(med) >= p.DisguiseRatio*float64(w)
+}
+
+func medianU32(xs []uint32) uint32 {
+	// Insertion sort: screening medians are over a handful of weights.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[len(xs)/2]
+}
+
+// ScreenGroups applies the full screening module to candidate groups and
+// re-partitions the survivors: removing hot items can split a merged
+// component (several attack groups riding the same hot items) back into its
+// true attack groups, so survivors are re-clustered by connected components
+// of the induced verified subgraph and the Definition 3 size bounds are
+// re-applied (property (4b)).
+func ScreenGroups(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Params) []detect.Group {
+	var allUsers, allItems []bipartite.NodeID
+	for _, grp := range groups {
+		users := UserBehaviorCheck(g, grp, hot, p)
+		if len(users) == 0 {
+			continue
+		}
+		items := ItemBehaviorVerification(g, grp.Items, users, hot, p)
+		if len(items) == 0 {
+			continue
+		}
+		// A user must still support at least one verified target;
+		// users whose only strong edges went to unverified items drop out.
+		itemSet := make(map[bipartite.NodeID]bool, len(items))
+		for _, v := range items {
+			itemSet[v] = true
+		}
+		for _, u := range users {
+			supports := false
+			g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+				if itemSet[v] && w >= p.TClick {
+					supports = true
+					return false
+				}
+				return true
+			})
+			if supports {
+				allUsers = append(allUsers, u)
+			}
+		}
+		allItems = append(allItems, items...)
+	}
+	if len(allUsers) == 0 || len(allItems) == 0 {
+		return nil
+	}
+
+	sub, err := bipartite.InducedSubgraph(g, allUsers, allItems)
+	if err != nil {
+		// IDs came from g itself; out-of-range is impossible.
+		panic("core: screening produced invalid IDs: " + err.Error())
+	}
+	var out []detect.Group
+	for _, comp := range bipartite.ConnectedComponents(sub) {
+		if len(comp.Users) >= p.K1 && len(comp.Items) >= p.K2 {
+			out = append(out, detect.Group{Users: comp.Users, Items: comp.Items})
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+)
+
+// fig5Graph reconstructs the spirit of the paper's Fig 5 example: a
+// candidate group of 3 users × 3 items where i0 is hot, u0 only has light
+// clicks (and only on the hot item and one light ordinary edge), while u1
+// and u2 hammer the ordinary items i1 and i2.
+//
+//	        i0 (hot, clicks 5000 from filler users)
+//	u0: i0×2, i1×1
+//	u1: i0×1, i1×15, i2×14
+//	u2: i0×1, i1×13, i2×16
+func fig5Graph() (*bipartite.Graph, detect.Group, *HotSet, Params) {
+	b := bipartite.NewBuilder(200, 10)
+	b.Add(0, 0, 2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 1, 15)
+	b.Add(1, 2, 14)
+	b.Add(2, 0, 1)
+	b.Add(2, 1, 13)
+	b.Add(2, 2, 16)
+	// Filler traffic making i0 hot.
+	for u := bipartite.NodeID(3); u < 200; u++ {
+		b.Add(u, 0, 26)
+	}
+	g := b.Build()
+	p := DefaultParams()
+	p.K1, p.K2 = 2, 2
+	p.THot = 1000
+	p.TClick = 12
+	hot := ComputeHotSet(g, p.THot)
+	grp := detect.Group{
+		Users: []bipartite.NodeID{0, 1, 2},
+		Items: []bipartite.NodeID{0, 1, 2},
+	}
+	return g, grp, hot, p
+}
+
+func TestUserBehaviorCheckDropsHotOnlyUser(t *testing.T) {
+	g, grp, hot, p := fig5Graph()
+	if !hot.IsHot(0) {
+		t.Fatal("fixture broken: item 0 should be hot")
+	}
+	kept := UserBehaviorCheck(g, grp, hot, p)
+	want := []bipartite.NodeID{1, 2}
+	if !reflect.DeepEqual(kept, want) {
+		t.Errorf("kept users = %v, want %v (u0 has no ≥T_click ordinary edge)", kept, want)
+	}
+}
+
+func TestUserBehaviorCheckDropsHotHeavyUser(t *testing.T) {
+	// A user with a strong ordinary edge but who also hammers hot items
+	// (avg ≥ MaxHotAvg) behaves like a fan, not a crowd worker.
+	b := bipartite.NewBuilder(200, 10)
+	b.Add(0, 0, 19) // hot item, heavy clicks — ordinary-user profile (Table IV)
+	b.Add(0, 1, 13)
+	for u := bipartite.NodeID(1); u < 200; u++ {
+		b.Add(u, 0, 26)
+	}
+	g := b.Build()
+	p := DefaultParams()
+	p.THot = 1000
+	p.MaxHotAvg = 4 // enable the strict characteristic-(2) cap
+	hot := ComputeHotSet(g, p.THot)
+	grp := detect.Group{Users: []bipartite.NodeID{0}, Items: []bipartite.NodeID{0, 1}}
+	if kept := UserBehaviorCheck(g, grp, hot, p); len(kept) != 0 {
+		t.Errorf("hot-heavy user survived the check: %v", kept)
+	}
+	p.MaxHotAvg = 0 // disabled: the literal Fig 5 check keeps the user
+	if kept := UserBehaviorCheck(g, grp, hot, p); len(kept) != 1 {
+		t.Errorf("user dropped with MaxHotAvg disabled: %v", kept)
+	}
+}
+
+func TestUserBehaviorCheckKeepsWorkerWithoutHotEdges(t *testing.T) {
+	// An attacker whose in-group items are all ordinary must pass: the
+	// hot-average condition is vacuous with no hot edges.
+	b := bipartite.NewBuilder(5, 5)
+	b.Add(0, 0, 14)
+	b.Add(0, 1, 13)
+	g := b.Build()
+	p := DefaultParams()
+	hot := ComputeHotSet(g, p.THot)
+	grp := detect.Group{Users: []bipartite.NodeID{0}, Items: []bipartite.NodeID{0, 1}}
+	if kept := UserBehaviorCheck(g, grp, hot, p); len(kept) != 1 {
+		t.Errorf("worker without hot edges dropped: %v", kept)
+	}
+}
+
+func TestItemBehaviorVerification(t *testing.T) {
+	g, grp, hot, p := fig5Graph()
+	users := UserBehaviorCheck(g, grp, hot, p) // u1, u2
+	items := ItemBehaviorVerification(g, grp.Items, users, hot, p)
+	// i0 is hot → excluded; i1, i2 have 2 supporters ≥ ceil(α·k1)=2.
+	want := []bipartite.NodeID{1, 2}
+	if !reflect.DeepEqual(items, want) {
+		t.Errorf("verified items = %v, want %v", items, want)
+	}
+}
+
+func TestItemBehaviorVerificationDropsCamouflage(t *testing.T) {
+	g, grp, hot, p := fig5Graph()
+	users := UserBehaviorCheck(g, grp, hot, p)
+	// Add a camouflage item i3 clicked once by each checked user.
+	b := bipartite.NewBuilder(200, 10)
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+			b.Add(u, v, w)
+			return true
+		})
+		return true
+	})
+	b.Add(1, 3, 1)
+	b.Add(2, 3, 2)
+	g2 := b.Build()
+	items := ItemBehaviorVerification(g2, append(grp.Items, 3), users, hot, p)
+	for _, v := range items {
+		if v == 3 {
+			t.Error("camouflage item 3 verified as target")
+		}
+	}
+}
+
+func TestDisguisedHotEdge(t *testing.T) {
+	g, _, _, p := fig5Graph()
+	targets := []bipartite.NodeID{1, 2}
+	// u2 clicks i0 once but targets 13-16 times: disguise.
+	if !DisguisedHotEdge(g, 2, 0, targets, p) {
+		t.Error("u2→i0 should be a disguise edge")
+	}
+	// u0 clicks i0 twice and has no ≥-weight target edges... its target
+	// clicks are 1, so 1 < ratio×2: not a disguise.
+	if DisguisedHotEdge(g, 0, 0, targets, p) {
+		t.Error("u0→i0 should not be a disguise edge")
+	}
+	// Nonexistent edge is never a disguise.
+	if DisguisedHotEdge(g, 2, 9, targets, p) {
+		t.Error("missing edge reported as disguise")
+	}
+}
+
+func TestScreenGroupsEndToEnd(t *testing.T) {
+	// Build two planted attack groups glued by a shared hot item, plus the
+	// hot item's organic fans. Screening must drop the hot item and the
+	// fans, then split the merged component back into two groups.
+	b := bipartite.NewBuilder(1000, 100)
+	hotItem := bipartite.NodeID(0)
+	for u := bipartite.NodeID(100); u < 1000; u++ {
+		b.Add(u, hotItem, 3)
+	}
+	// Group A: users 0..11, items 1..12.
+	for u := 0; u < 12; u++ {
+		b.Add(bipartite.NodeID(u), hotItem, 1)
+		for v := 1; v <= 12; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 14)
+		}
+	}
+	// Group B: users 12..23, items 13..24.
+	for u := 12; u < 24; u++ {
+		b.Add(bipartite.NodeID(u), hotItem, 1)
+		for v := 13; v <= 24; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 14)
+		}
+	}
+	g := b.Build()
+	p := DefaultParams()
+	p.THot = 1000
+	p.K1, p.K2 = 10, 10
+	hot := ComputeHotSet(g, p.THot)
+	if !hot.IsHot(hotItem) {
+		t.Fatal("fixture broken: item 0 should be hot")
+	}
+
+	// Feed screening one merged candidate group, as extraction would
+	// produce it.
+	var users, items []bipartite.NodeID
+	for u := 0; u < 24; u++ {
+		users = append(users, bipartite.NodeID(u))
+	}
+	for v := 0; v <= 24; v++ {
+		items = append(items, bipartite.NodeID(v))
+	}
+	merged := []detect.Group{{Users: users, Items: items}}
+
+	out := ScreenGroups(g, merged, hot, p)
+	if len(out) != 2 {
+		t.Fatalf("got %d groups after screening, want 2 (split on hot-item removal)", len(out))
+	}
+	for _, grp := range out {
+		if len(grp.Users) != 12 || len(grp.Items) != 12 {
+			t.Errorf("screened group = %d users / %d items, want 12/12",
+				len(grp.Users), len(grp.Items))
+		}
+		for _, v := range grp.Items {
+			if v == hotItem {
+				t.Error("hot item survived screening")
+			}
+		}
+	}
+}
+
+func TestScreenGroupsEmptyInput(t *testing.T) {
+	g := bipartite.NewGraph(1, 1)
+	p := DefaultParams()
+	hot := ComputeHotSet(g, p.THot)
+	if out := ScreenGroups(g, nil, hot, p); out != nil {
+		t.Errorf("screening nil groups = %v, want nil", out)
+	}
+}

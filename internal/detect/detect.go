@@ -1,0 +1,129 @@
+// Package detect defines the types shared by every "Ride Item's Coattails"
+// detection algorithm in this repository: the attack-group representation,
+// the detection result, the ground-truth labels produced by the synthetic
+// attack injector, and the Detector interface the RICD core and all
+// baselines implement.
+package detect
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bipartite"
+)
+
+// Group is one suspected "Ride Item's Coattails" attack group: a set of
+// suspicious users (crowd workers) and suspicious items (attack targets).
+type Group struct {
+	Users []bipartite.NodeID
+	Items []bipartite.NodeID
+	// Score is an optional detector-specific suspiciousness score
+	// (higher is more suspicious); 0 when the detector does not score.
+	Score float64
+}
+
+// Size returns the total number of nodes in the group.
+func (g Group) Size() int { return len(g.Users) + len(g.Items) }
+
+// Result is the output of a detection run.
+type Result struct {
+	// Groups are the detected attack groups, most suspicious first when
+	// the detector scores groups.
+	Groups []Group
+	// Elapsed is the end-to-end wall time of the detection run.
+	Elapsed time.Duration
+	// DetectElapsed and ScreenElapsed split Elapsed into the group
+	// detection phase and the screening (UI) phase, reproducing the
+	// stacking of the paper's Fig 8b. They may be zero for detectors
+	// without that structure.
+	DetectElapsed time.Duration
+	ScreenElapsed time.Duration
+}
+
+// Users returns the deduplicated, sorted union of suspicious users across
+// all groups (U_sus in the paper's problem definition).
+func (r *Result) Users() []bipartite.NodeID {
+	return unionNodes(r.Groups, func(g Group) []bipartite.NodeID { return g.Users })
+}
+
+// Items returns the deduplicated, sorted union of suspicious items across
+// all groups (V_sus in the paper's problem definition).
+func (r *Result) Items() []bipartite.NodeID {
+	return unionNodes(r.Groups, func(g Group) []bipartite.NodeID { return g.Items })
+}
+
+// NumNodes returns the total number of distinct suspicious nodes.
+func (r *Result) NumNodes() int { return len(r.Users()) + len(r.Items()) }
+
+func unionNodes(groups []Group, get func(Group) []bipartite.NodeID) []bipartite.NodeID {
+	seen := map[bipartite.NodeID]struct{}{}
+	for _, g := range groups {
+		for _, id := range get(g) {
+			seen[id] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]bipartite.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Detector is a "Ride Item's Coattails" attack detector. Detect must not
+// mutate g; detectors that prune work on a Clone.
+type Detector interface {
+	// Name identifies the detector in experiment output ("RICD", "LPA", ...).
+	Name() string
+	// Detect finds suspicious attack groups in the click graph.
+	Detect(g *bipartite.Graph) (*Result, error)
+}
+
+// Labels is the ground truth for a dataset: which users are crowd workers
+// and which items are attack targets. Hot items are victims, not targets,
+// and are therefore not labeled.
+type Labels struct {
+	Users map[bipartite.NodeID]bool
+	Items map[bipartite.NodeID]bool
+}
+
+// NewLabels returns empty ground truth.
+func NewLabels() *Labels {
+	return &Labels{
+		Users: map[bipartite.NodeID]bool{},
+		Items: map[bipartite.NodeID]bool{},
+	}
+}
+
+// NumAbnormal returns the number of labeled abnormal nodes.
+func (l *Labels) NumAbnormal() int { return len(l.Users) + len(l.Items) }
+
+// UserIDs returns the sorted abnormal user IDs.
+func (l *Labels) UserIDs() []bipartite.NodeID { return sortedIDs(l.Users) }
+
+// ItemIDs returns the sorted abnormal item IDs.
+func (l *Labels) ItemIDs() []bipartite.NodeID { return sortedIDs(l.Items) }
+
+func sortedIDs(m map[bipartite.NodeID]bool) []bipartite.NodeID {
+	out := make([]bipartite.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Seeds is a partial set of known abnormal nodes supplied by "the business
+// department" — in this reproduction, a sample of the ground truth. RICD's
+// group detection module (Algorithm 2) can use seeds to prune the input
+// graph.
+type Seeds struct {
+	Users []bipartite.NodeID
+	Items []bipartite.NodeID
+}
+
+// Empty reports whether no seeds are present.
+func (s Seeds) Empty() bool { return len(s.Users) == 0 && len(s.Items) == 0 }

@@ -1,0 +1,66 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func TestResultUnions(t *testing.T) {
+	res := &Result{Groups: []Group{
+		{Users: []bipartite.NodeID{3, 1}, Items: []bipartite.NodeID{7}},
+		{Users: []bipartite.NodeID{1, 2}, Items: []bipartite.NodeID{7, 5}},
+	}}
+	if got, want := res.Users(), []bipartite.NodeID{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Users = %v, want %v", got, want)
+	}
+	if got, want := res.Items(), []bipartite.NodeID{5, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Items = %v, want %v", got, want)
+	}
+	if res.NumNodes() != 5 {
+		t.Errorf("NumNodes = %d, want 5", res.NumNodes())
+	}
+}
+
+func TestResultEmpty(t *testing.T) {
+	res := &Result{}
+	if res.Users() != nil || res.Items() != nil || res.NumNodes() != 0 {
+		t.Errorf("empty result unions: %v %v", res.Users(), res.Items())
+	}
+}
+
+func TestGroupSize(t *testing.T) {
+	g := Group{Users: make([]bipartite.NodeID, 3), Items: make([]bipartite.NodeID, 2)}
+	if g.Size() != 5 {
+		t.Errorf("Size = %d, want 5", g.Size())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	l := NewLabels()
+	l.Users[4] = true
+	l.Users[2] = true
+	l.Items[9] = true
+	if l.NumAbnormal() != 3 {
+		t.Errorf("NumAbnormal = %d, want 3", l.NumAbnormal())
+	}
+	if got, want := l.UserIDs(), []bipartite.NodeID{2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("UserIDs = %v, want %v", got, want)
+	}
+	if got, want := l.ItemIDs(), []bipartite.NodeID{9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ItemIDs = %v, want %v", got, want)
+	}
+}
+
+func TestSeedsEmpty(t *testing.T) {
+	if !(Seeds{}).Empty() {
+		t.Error("zero Seeds should be empty")
+	}
+	if (Seeds{Users: []bipartite.NodeID{1}}).Empty() {
+		t.Error("seeded Seeds reported empty")
+	}
+	if (Seeds{Items: []bipartite.NodeID{1}}).Empty() {
+		t.Error("item-seeded Seeds reported empty")
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math"
+)
+
+// Aggregators are the Pregel/Grape-style global reduction channel: vertices
+// contribute values during a superstep through Context.Aggregate, worker
+// partials are merged at the barrier, and the combined value of superstep s
+// is visible to every vertex during superstep s+1 via Engine.AggregatorValue.
+
+// Aggregator defines a commutative, associative reduction.
+type Aggregator struct {
+	// Name keys contributions and reads.
+	Name string
+	// Identity is the reduction's neutral element (0 for sum, -Inf for max).
+	Identity float64
+	// Reduce combines two partial values.
+	Reduce func(a, b float64) float64
+}
+
+// SumAggregator returns a named sum reduction.
+func SumAggregator(name string) Aggregator {
+	return Aggregator{Name: name, Identity: 0, Reduce: func(a, b float64) float64 { return a + b }}
+}
+
+// MaxAggregator returns a named max reduction.
+func MaxAggregator(name string) Aggregator {
+	return Aggregator{
+		Name:     name,
+		Identity: negInf,
+		Reduce: func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+	}
+}
+
+// MinAggregator returns a named min reduction.
+func MinAggregator(name string) Aggregator {
+	return Aggregator{
+		Name:     name,
+		Identity: posInf,
+		Reduce: func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+}
+
+var (
+	posInf = math.Inf(1)
+	negInf = math.Inf(-1)
+)
+
+// aggregatorState tracks one registered aggregator across supersteps.
+// Contributions go into per-worker partial slots (no locking on the hot
+// path); the barrier merges them single-threaded.
+type aggregatorState struct {
+	def Aggregator
+	// current is the published value from the previous superstep.
+	current float64
+	// partials accumulate this superstep's contributions per worker.
+	partials []float64
+}
+
+// RegisterAggregator makes an aggregator available to the next Run. It must
+// be called before Run; registering twice under one name replaces the
+// earlier definition.
+func (e *Engine) RegisterAggregator(def Aggregator) {
+	if e.aggregators == nil {
+		e.aggregators = map[string]*aggregatorState{}
+	}
+	st := &aggregatorState{def: def, current: def.Identity}
+	st.partials = make([]float64, e.numWorkers)
+	for i := range st.partials {
+		st.partials[i] = def.Identity
+	}
+	e.aggregators[def.Name] = st
+}
+
+// AggregatorValue returns the combined value contributed during the
+// previous superstep (or the identity before any barrier). Unknown names
+// return 0.
+func (e *Engine) AggregatorValue(name string) float64 {
+	st := e.aggregators[name]
+	if st == nil {
+		return 0
+	}
+	return st.current
+}
+
+// Aggregate contributes a value to a named aggregator from within Compute.
+// Contributions land in a per-worker partial slot, so no locking occurs on
+// the hot path.
+func (c *Context) Aggregate(name string, value float64) {
+	st := c.worker.eng.aggregators[name]
+	if st == nil {
+		return
+	}
+	w := c.worker.id
+	st.partials[w] = st.def.Reduce(st.partials[w], value)
+}
+
+// mergeAggregators folds worker partials into the published value at the
+// superstep barrier and resets partials.
+func (e *Engine) mergeAggregators() {
+	for _, st := range e.aggregators {
+		v := st.def.Identity
+		for i, p := range st.partials {
+			v = st.def.Reduce(v, p)
+			st.partials[i] = st.def.Identity
+		}
+		st.current = v
+	}
+}

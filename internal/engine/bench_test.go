@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkLPAWorkers measures the engine's LPA across worker counts — the
+// Grape "number of workers" knob.
+func BenchmarkLPAWorkers(b *testing.B) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := NewGraphAdapter(ds.Graph)
+				e, err := New(a.NumVertices(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := NewLabelPropagationProgram(a)
+				e.Run(p, 42)
+			}
+		})
+	}
+}
+
+func BenchmarkDegreeProgram(b *testing.B) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	a := NewGraphAdapter(ds.Graph)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(a.NumVertices(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(NewDegreeProgram(a), 4)
+	}
+}
+
+func BenchmarkComponentsProgram(b *testing.B) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	a := NewGraphAdapter(ds.Graph)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(a.NumVertices(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(NewComponentsProgram(a), 200)
+	}
+}

@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func runComponents(t *testing.T, g *bipartite.Graph, workers int) *ComponentsProgram {
+	t.Helper()
+	a := NewGraphAdapter(g)
+	e, err := New(a.NumVertices(), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterAggregator(SumAggregator(ChangesAggregator))
+	p := NewComponentsProgram(a)
+	e.Run(p, 200)
+	return p
+}
+
+func TestComponentsProgramMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := bipartite.NewBuilder(60, 60)
+	for e := 0; e < 150; e++ {
+		b.Add(bipartite.NodeID(rng.Intn(60)), bipartite.NodeID(rng.Intn(60)), 1)
+	}
+	g := b.Build()
+	g.RemoveUser(3)
+	g.RemoveItem(7)
+
+	p := runComponents(t, g, 4)
+	users, items := p.Components()
+
+	// Engine components must induce exactly the same partition as the
+	// sequential BFS. Build membership maps both ways and compare.
+	seq := bipartite.ConnectedComponents(g)
+	seqComp := map[string]int{} // "u3" / "i7" → component index
+	for i, c := range seq {
+		for _, u := range c.Users {
+			seqComp[key(true, u)] = i
+		}
+		for _, v := range c.Items {
+			seqComp[key(false, v)] = i
+		}
+	}
+	engComp := map[string]uint32{}
+	for label, us := range users {
+		for _, u := range us {
+			engComp[key(true, u)] = label
+		}
+	}
+	for label, vs := range items {
+		for _, v := range vs {
+			engComp[key(false, v)] = label
+		}
+	}
+	if len(engComp) != len(seqComp) {
+		t.Fatalf("engine labeled %d vertices, sequential found %d", len(engComp), len(seqComp))
+	}
+	// Two vertices share a sequential component iff they share an engine
+	// label.
+	keys := make([]string, 0, len(seqComp))
+	for k := range seqComp {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			same := seqComp[keys[i]] == seqComp[keys[j]]
+			sameEng := engComp[keys[i]] == engComp[keys[j]]
+			if same != sameEng {
+				t.Fatalf("vertices %s and %s: sequential same=%v, engine same=%v",
+					keys[i], keys[j], same, sameEng)
+			}
+		}
+	}
+}
+
+func key(user bool, id bipartite.NodeID) string {
+	prefix := "i"
+	if user {
+		prefix = "u"
+	}
+	return prefix + string(rune(id))
+}
+
+func TestComponentsProgramTwoBlocks(t *testing.T) {
+	b := bipartite.NewBuilder(6, 6)
+	for blk := 0; blk < 2; blk++ {
+		for u := 0; u < 3; u++ {
+			for v := 0; v < 3; v++ {
+				b.Add(bipartite.NodeID(blk*3+u), bipartite.NodeID(blk*3+v), 1)
+			}
+		}
+	}
+	p := runComponents(t, b.Build(), 3)
+	users, _ := p.Components()
+	if len(users) != 2 {
+		t.Fatalf("got %d components with users, want 2", len(users))
+	}
+}
+
+func TestComponentsDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := bipartite.NewBuilder(40, 40)
+	for e := 0; e < 120; e++ {
+		b.Add(bipartite.NodeID(rng.Intn(40)), bipartite.NodeID(rng.Intn(40)), 1)
+	}
+	g := b.Build()
+	var ref []uint32
+	for _, workers := range []int{1, 3, 8} {
+		p := runComponents(t, g, workers)
+		if ref == nil {
+			ref = append([]uint32(nil), p.Labels...)
+			continue
+		}
+		for v, l := range p.Labels {
+			if ref[v] != l {
+				t.Fatalf("workers=%d: label[%d] = %d, want %d", workers, v, l, ref[v])
+			}
+		}
+	}
+}
+
+func TestAggregatorSum(t *testing.T) {
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, err := New(a.NumVertices(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterAggregator(SumAggregator(ChangesAggregator))
+	p := NewComponentsProgram(a)
+	e.Run(p, 50)
+	// After convergence the last superstep has zero changes.
+	if got := e.AggregatorValue(ChangesAggregator); got != 0 {
+		t.Errorf("final change count = %v, want 0", got)
+	}
+}
+
+func TestAggregatorKinds(t *testing.T) {
+	e, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterAggregator(SumAggregator("s"))
+	e.RegisterAggregator(MaxAggregator("max"))
+	e.RegisterAggregator(MinAggregator("min"))
+	p := &aggProgram{}
+	e.Run(p, 2)
+	if got := e.AggregatorValue("s"); got != 0+1+2+3 {
+		t.Errorf("sum = %v, want 6", got)
+	}
+	if got := e.AggregatorValue("max"); got != 3 {
+		t.Errorf("max = %v, want 3", got)
+	}
+	if got := e.AggregatorValue("min"); got != 0 {
+		t.Errorf("min = %v, want 0", got)
+	}
+	if got := e.AggregatorValue("unknown"); got != 0 {
+		t.Errorf("unknown aggregator = %v, want 0", got)
+	}
+}
+
+// aggProgram contributes each vertex's ID to three aggregators every
+// superstep and never halts (the superstep cap stops it), so the final
+// published values reflect the last full superstep.
+type aggProgram struct{}
+
+func (*aggProgram) Init(VertexID) {}
+
+func (*aggProgram) Compute(ctx *Context, v VertexID, _ []float64) {
+	ctx.Aggregate("s", float64(v))
+	ctx.Aggregate("max", float64(v))
+	ctx.Aggregate("min", float64(v))
+	ctx.Aggregate("unregistered", 1) // must be a no-op
+}

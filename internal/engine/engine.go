@@ -1,0 +1,254 @@
+// Package engine implements a small BSP (bulk-synchronous parallel)
+// vertex-centric graph engine in the spirit of Grape, the parallel graph
+// platform the paper ran its experiments on. Vertices are partitioned
+// across worker goroutines; computation proceeds in supersteps, each worker
+// running the vertex program over its active vertices and exchanging
+// messages through per-worker outboxes that are routed between supersteps.
+//
+// The engine exists to reproduce the paper's platform substrate at
+// laptop scale: the LPA baseline and the degree passes run on it, and its
+// worker count mirrors Grape's "number of workers" knob (16 by default in
+// the paper).
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bipartite"
+)
+
+// VertexID identifies a vertex in the engine's unified ID space: users keep
+// their IDs, items are offset by the user count (see GraphAdapter).
+type VertexID = uint32
+
+// Message is a value sent to a vertex for delivery at the next superstep.
+type Message struct {
+	To    VertexID
+	Value float64
+}
+
+// Context is handed to the vertex program each superstep.
+type Context struct {
+	// Superstep is the current superstep number, starting at 0.
+	Superstep int
+
+	worker *worker
+}
+
+// Send queues a message for delivery to vertex `to` at the next superstep.
+func (c *Context) Send(to VertexID, value float64) {
+	w := c.worker
+	dst := w.eng.partitionOf(to)
+	w.outbox[dst] = append(w.outbox[dst], Message{To: to, Value: value})
+}
+
+// VoteHalt marks the calling vertex inactive; it reactivates if a message
+// arrives.
+func (c *Context) VoteHalt(v VertexID) {
+	c.worker.eng.active[v] = false
+}
+
+// Program is a vertex program. Compute runs once per active vertex per
+// superstep with the messages delivered to that vertex.
+type Program interface {
+	// Init is called once per vertex before superstep 0.
+	Init(v VertexID)
+	// Compute processes incoming messages for v and may send messages or
+	// vote to halt via the context.
+	Compute(ctx *Context, v VertexID, inbox []float64)
+}
+
+// Engine executes vertex programs over a fixed vertex set with a static
+// adjacency supplied by the program itself (programs capture the graph they
+// need; the engine only owns scheduling and messaging).
+type Engine struct {
+	numVertices int
+	numWorkers  int
+
+	active  []bool
+	workers []*worker
+	// mailboxes[v] holds messages delivered to v for the current superstep.
+	mailboxes [][]float64
+
+	aggregators map[string]*aggregatorState
+}
+
+type worker struct {
+	eng      *Engine
+	id       int
+	vertices []VertexID
+	// outbox[w] collects messages destined for worker w's vertices.
+	outbox [][]Message
+}
+
+// New creates an engine over numVertices vertices split across numWorkers
+// partitions (round-robin by ID, Grape-style hash partitioning).
+func New(numVertices, numWorkers int) (*Engine, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("engine: negative vertex count %d", numVertices)
+	}
+	if numWorkers < 1 {
+		return nil, fmt.Errorf("engine: need at least one worker, got %d", numWorkers)
+	}
+	if numWorkers > numVertices && numVertices > 0 {
+		numWorkers = numVertices
+	}
+	e := &Engine{
+		numVertices: numVertices,
+		numWorkers:  numWorkers,
+		active:      make([]bool, numVertices),
+		mailboxes:   make([][]float64, numVertices),
+	}
+	for w := 0; w < numWorkers; w++ {
+		e.workers = append(e.workers, &worker{
+			eng:    e,
+			id:     w,
+			outbox: make([][]Message, numWorkers),
+		})
+	}
+	for v := 0; v < numVertices; v++ {
+		w := e.partitionOf(VertexID(v))
+		e.workers[w].vertices = append(e.workers[w].vertices, VertexID(v))
+	}
+	return e, nil
+}
+
+// NumWorkers returns the worker count actually in use.
+func (e *Engine) NumWorkers() int { return e.numWorkers }
+
+func (e *Engine) partitionOf(v VertexID) int { return int(v) % e.numWorkers }
+
+// SuperstepEnder is an optional Program extension: EndSuperstep runs
+// single-threaded at each barrier, letting programs publish double-buffered
+// state safely.
+type SuperstepEnder interface {
+	EndSuperstep(step int)
+}
+
+// Run executes the program until every vertex has halted with no messages
+// in flight, or maxSupersteps have run. It returns the number of supersteps
+// executed.
+func (e *Engine) Run(p Program, maxSupersteps int) int {
+	for v := 0; v < e.numVertices; v++ {
+		p.Init(VertexID(v))
+		e.active[v] = true
+	}
+	ender, _ := p.(SuperstepEnder)
+
+	step := 0
+	for ; step < maxSupersteps; step++ {
+		more := e.superstep(p, step)
+		e.mergeAggregators()
+		if ender != nil {
+			ender.EndSuperstep(step)
+		}
+		if !more {
+			step++
+			break
+		}
+	}
+	return step
+}
+
+// superstep runs one BSP round; it reports whether another round is needed.
+func (e *Engine) superstep(p Program, step int) bool {
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			ctx := Context{Superstep: step, worker: w}
+			for _, v := range w.vertices {
+				inbox := e.mailboxes[v]
+				if !e.active[v] && len(inbox) == 0 {
+					continue
+				}
+				e.active[v] = true // message arrival reactivates
+				p.Compute(&ctx, v, inbox)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Barrier: route outboxes into mailboxes for the next superstep.
+	for v := range e.mailboxes {
+		e.mailboxes[v] = nil
+	}
+	delivered := false
+	for _, src := range e.workers {
+		for _, msgs := range src.outbox {
+			for _, m := range msgs {
+				e.mailboxes[m.To] = append(e.mailboxes[m.To], m.Value)
+				delivered = true
+			}
+		}
+		for i := range src.outbox {
+			src.outbox[i] = nil
+		}
+	}
+	if delivered {
+		return true
+	}
+	for v := 0; v < e.numVertices; v++ {
+		if e.active[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// GraphAdapter maps a bipartite graph into the engine's unified vertex ID
+// space: user u ↔ vertex u, item v ↔ vertex NumUsers+v.
+type GraphAdapter struct {
+	G        *bipartite.Graph
+	numUsers int
+}
+
+// NewGraphAdapter wraps g.
+func NewGraphAdapter(g *bipartite.Graph) *GraphAdapter {
+	return &GraphAdapter{G: g, numUsers: g.NumUsers()}
+}
+
+// NumVertices returns the unified vertex count.
+func (a *GraphAdapter) NumVertices() int { return a.numUsers + a.G.NumItems() }
+
+// IsUser reports whether vertex id is on the user side.
+func (a *GraphAdapter) IsUser(id VertexID) bool { return int(id) < a.numUsers }
+
+// UserVertex returns the unified ID of user u.
+func (a *GraphAdapter) UserVertex(u bipartite.NodeID) VertexID { return u }
+
+// ItemVertex returns the unified ID of item v.
+func (a *GraphAdapter) ItemVertex(v bipartite.NodeID) VertexID {
+	return VertexID(a.numUsers) + v
+}
+
+// User returns the user NodeID of a unified user vertex.
+func (a *GraphAdapter) User(id VertexID) bipartite.NodeID { return id }
+
+// Item returns the item NodeID of a unified item vertex.
+func (a *GraphAdapter) Item(id VertexID) bipartite.NodeID {
+	return id - VertexID(a.numUsers)
+}
+
+// Alive reports whether the underlying bipartite vertex is live.
+func (a *GraphAdapter) Alive(id VertexID) bool {
+	if a.IsUser(id) {
+		return a.G.UserAlive(a.User(id))
+	}
+	return a.G.ItemAlive(a.Item(id))
+}
+
+// EachNeighbor visits the unified-ID neighbors of vertex id with weights.
+func (a *GraphAdapter) EachNeighbor(id VertexID, fn func(nbr VertexID, w uint32) bool) {
+	if a.IsUser(id) {
+		a.G.EachUserNeighbor(a.User(id), func(v bipartite.NodeID, w uint32) bool {
+			return fn(a.ItemVertex(v), w)
+		})
+	} else {
+		a.G.EachItemNeighbor(a.Item(id), func(u bipartite.NodeID, w uint32) bool {
+			return fn(a.UserVertex(u), w)
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// pathGraph builds u0—v0—u1—v1—u2 with unit weights.
+func pathGraph() *bipartite.Graph {
+	b := bipartite.NewBuilder(3, 2)
+	b.Add(0, 0, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 1, 1)
+	b.Add(2, 1, 1)
+	return b.Build()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 2); err == nil {
+		t.Error("expected error for negative vertex count")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	e, err := New(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumWorkers() != 2 {
+		t.Errorf("workers clamped to %d, want 2", e.NumWorkers())
+	}
+}
+
+func TestDegreeProgram(t *testing.T) {
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	for _, workers := range []int{1, 2, 4} {
+		e, err := New(a.NumVertices(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewDegreeProgram(a)
+		e.Run(p, 10)
+		// Users 0,1,2 strengths 1,2,1; items 0,1 strengths 2,2.
+		want := []float64{1, 2, 1, 2, 2}
+		if !reflect.DeepEqual(p.Strength, want) {
+			t.Errorf("workers=%d: Strength = %v, want %v", workers, p.Strength, want)
+		}
+	}
+}
+
+func TestDegreeProgramMatchesGraph(t *testing.T) {
+	g := pathGraph()
+	g.RemoveItem(1)
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 3)
+	p := NewDegreeProgram(a)
+	e.Run(p, 10)
+	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		if got, want := p.Strength[a.UserVertex(u)], float64(g.UserStrength(u)); got != want {
+			t.Errorf("user %d strength = %v, want %v", u, got, want)
+		}
+		return true
+	})
+}
+
+func TestLPAConvergesOnTwoComponents(t *testing.T) {
+	// Two disjoint 3×3 bicliques must end with exactly two labels.
+	b := bipartite.NewBuilder(6, 6)
+	for blk := 0; blk < 2; blk++ {
+		for u := 0; u < 3; u++ {
+			for v := 0; v < 3; v++ {
+				b.Add(bipartite.NodeID(blk*3+u), bipartite.NodeID(blk*3+v), 2)
+			}
+		}
+	}
+	g := b.Build()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 4)
+	p := NewLabelPropagationProgram(a)
+	e.Run(p, 20)
+
+	labels := p.Labels()
+	blockLabel := func(us, ue, is, ie int) map[uint32]bool {
+		set := map[uint32]bool{}
+		for u := us; u < ue; u++ {
+			set[labels[a.UserVertex(bipartite.NodeID(u))]] = true
+		}
+		for v := is; v < ie; v++ {
+			set[labels[a.ItemVertex(bipartite.NodeID(v))]] = true
+		}
+		return set
+	}
+	blkA := blockLabel(0, 3, 0, 3)
+	blkB := blockLabel(3, 6, 3, 6)
+	if len(blkA) != 1 || len(blkB) != 1 {
+		t.Fatalf("blocks not label-uniform: %v %v", blkA, blkB)
+	}
+	for l := range blkA {
+		if blkB[l] {
+			t.Error("disconnected blocks share a label")
+		}
+	}
+}
+
+func TestLPADeterministicAcrossWorkerCounts(t *testing.T) {
+	b := bipartite.NewBuilder(20, 20)
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 20; v++ {
+			if (u+v)%3 == 0 {
+				b.Add(bipartite.NodeID(u), bipartite.NodeID(v), uint32(1+(u*v)%5))
+			}
+		}
+	}
+	g := b.Build()
+	var ref []uint32
+	for _, workers := range []int{1, 2, 7} {
+		a := NewGraphAdapter(g)
+		e, _ := New(a.NumVertices(), workers)
+		p := NewLabelPropagationProgram(a)
+		e.Run(p, 20)
+		labels := append([]uint32(nil), p.Labels()...)
+		if ref == nil {
+			ref = labels
+		} else if !reflect.DeepEqual(ref, labels) {
+			t.Errorf("workers=%d: labels differ from single-worker run", workers)
+		}
+	}
+}
+
+func TestRunHaltsWithoutMessages(t *testing.T) {
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 2)
+	p := NewDegreeProgram(a)
+	steps := e.Run(p, 100)
+	if steps > 3 {
+		t.Errorf("degree program took %d supersteps, want ≤ 3", steps)
+	}
+}
+
+func TestRunRespectsMaxSupersteps(t *testing.T) {
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 2)
+	p := &chattyProgram{adapter: a}
+	steps := e.Run(p, 5)
+	if steps != 5 {
+		t.Errorf("ran %d supersteps, want exactly the max 5", steps)
+	}
+}
+
+// chattyProgram never stops talking: it exercises the superstep cap.
+type chattyProgram struct {
+	adapter *GraphAdapter
+}
+
+func (p *chattyProgram) Init(VertexID) {}
+
+func (p *chattyProgram) Compute(ctx *Context, v VertexID, _ []float64) {
+	p.adapter.EachNeighbor(v, func(nbr VertexID, _ uint32) bool {
+		ctx.Send(nbr, 1)
+		return true
+	})
+	ctx.VoteHalt(v)
+}
+
+func TestEmptyEngine(t *testing.T) {
+	e, err := New(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bipartite.NewGraph(0, 0)
+	p := NewDegreeProgram(NewGraphAdapter(g))
+	if steps := e.Run(p, 10); steps > 1 {
+		t.Errorf("empty engine ran %d supersteps", steps)
+	}
+}
+
+func TestGraphAdapterMapping(t *testing.T) {
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	if a.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", a.NumVertices())
+	}
+	if !a.IsUser(2) || a.IsUser(3) {
+		t.Error("IsUser boundary wrong")
+	}
+	if a.Item(a.ItemVertex(1)) != 1 {
+		t.Error("item round trip failed")
+	}
+	if a.User(a.UserVertex(2)) != 2 {
+		t.Error("user round trip failed")
+	}
+}

@@ -1,0 +1,79 @@
+package engine
+
+// NaiveProgram runs the paper's Algorithm 1 (the naive detector's item
+// pass) as a two-superstep vertex program, the shape its MaxCompute
+// deployment takes: superstep 0, every user computes Alpha — its total
+// clicks on hot items — locally and mails it to each neighboring item;
+// superstep 1, every item sums its inbox into a risk score and flags
+// itself when the score exceeds T_risk.
+type NaiveProgram struct {
+	Adapter *GraphAdapter
+	// Hot[v] marks hot items (by item NodeID).
+	Hot []bool
+	// TRisk is the flagging threshold.
+	TRisk float64
+
+	// Alpha[u] (by user NodeID) and Risk/Flagged (by item NodeID) hold
+	// the results after the engine halts.
+	Alpha   []float64
+	Risk    []float64
+	Flagged []bool
+}
+
+// NewNaiveProgram prepares the program.
+func NewNaiveProgram(a *GraphAdapter, hot []bool, tRisk float64) *NaiveProgram {
+	return &NaiveProgram{
+		Adapter: a,
+		Hot:     hot,
+		TRisk:   tRisk,
+		Alpha:   make([]float64, a.G.NumUsers()),
+		Risk:    make([]float64, a.G.NumItems()),
+		Flagged: make([]bool, a.G.NumItems()),
+	}
+}
+
+// Init implements Program.
+func (p *NaiveProgram) Init(v VertexID) {
+	if p.Adapter.IsUser(v) {
+		p.Alpha[p.Adapter.User(v)] = 0
+	} else {
+		item := p.Adapter.Item(v)
+		p.Risk[item] = 0
+		p.Flagged[item] = false
+	}
+}
+
+// Compute implements Program.
+func (p *NaiveProgram) Compute(ctx *Context, v VertexID, inbox []float64) {
+	if !p.Adapter.Alive(v) {
+		ctx.VoteHalt(v)
+		return
+	}
+	switch {
+	case ctx.Superstep == 0 && p.Adapter.IsUser(v):
+		u := p.Adapter.User(v)
+		var alpha float64
+		p.Adapter.EachNeighbor(v, func(nbr VertexID, w uint32) bool {
+			if p.Hot[p.Adapter.Item(nbr)] {
+				alpha += float64(w)
+			}
+			return true
+		})
+		p.Alpha[u] = alpha
+		if alpha > 0 {
+			p.Adapter.EachNeighbor(v, func(nbr VertexID, _ uint32) bool {
+				ctx.Send(nbr, alpha)
+				return true
+			})
+		}
+	case ctx.Superstep == 1 && !p.Adapter.IsUser(v):
+		item := p.Adapter.Item(v)
+		var risk float64
+		for _, a := range inbox {
+			risk += a
+		}
+		p.Risk[item] = risk
+		p.Flagged[item] = !p.Hot[item] && risk > p.TRisk
+	}
+	ctx.VoteHalt(v)
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestNaiveProgramToy(t *testing.T) {
+	// u0 clicks hot item 0 (×5) and item 1 (×2); u1 clicks item 1 (×1).
+	b := bipartite.NewBuilder(2, 2)
+	b.Add(0, 0, 5)
+	b.Add(0, 1, 2)
+	b.Add(1, 1, 1)
+	g := b.Build()
+	a := NewGraphAdapter(g)
+	e, err := New(a.NumVertices(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewNaiveProgram(a, []bool{true, false}, 3)
+	e.Run(p, 5)
+
+	if !reflect.DeepEqual(p.Alpha, []float64{5, 0}) {
+		t.Errorf("Alpha = %v, want [5 0]", p.Alpha)
+	}
+	// Risk: item 0 ← alpha(u0)=5; item 1 ← alpha(u0)+alpha(u1)=5.
+	if !reflect.DeepEqual(p.Risk, []float64{5, 5}) {
+		t.Errorf("Risk = %v, want [5 5]", p.Risk)
+	}
+	// Item 0 is hot → never flagged; item 1 risk 5 > 3 → flagged.
+	if p.Flagged[0] || !p.Flagged[1] {
+		t.Errorf("Flagged = %v, want [false true]", p.Flagged)
+	}
+}
+
+// TestNaiveProgramMatchesSerialDetector cross-validates the engine version
+// against core.NaiveDetector's item pass on a real dataset.
+func TestNaiveProgramMatchesSerialDetector(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	params := core.DefaultParams()
+	params.THot = 400
+
+	// Serial reference.
+	serial := &core.NaiveDetector{Params: params}
+	res, err := serial.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantItems := map[bipartite.NodeID]bool{}
+	for _, v := range res.Items() {
+		wantItems[v] = true
+	}
+
+	// Engine version.
+	hotSet := core.ComputeHotSet(ds.Graph, params.THot)
+	hot := make([]bool, ds.Graph.NumItems())
+	for v := 0; v < ds.Graph.NumItems(); v++ {
+		hot[v] = hotSet.IsHot(bipartite.NodeID(v))
+	}
+	a := NewGraphAdapter(ds.Graph)
+	e, err := New(a.NumVertices(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewNaiveProgram(a, hot, params.TRisk)
+	e.Run(p, 5)
+
+	var gotItems []bipartite.NodeID
+	for v, f := range p.Flagged {
+		if f {
+			gotItems = append(gotItems, bipartite.NodeID(v))
+		}
+	}
+	if len(gotItems) != len(wantItems) {
+		t.Fatalf("engine flagged %d items, serial flagged %d", len(gotItems), len(wantItems))
+	}
+	for _, v := range gotItems {
+		if !wantItems[v] {
+			t.Errorf("engine flagged item %d the serial detector did not", v)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package engine
+
+// Built-in vertex programs. Programs keep per-vertex state in slices indexed
+// by vertex ID; Compute runs concurrently across workers but each vertex
+// slot is only touched by its owning worker, so no locking is needed.
+// VoteHalt must only be called for the vertex currently being computed.
+
+// DegreeProgram computes every vertex's weighted degree (total incident
+// click weight) in one message round: superstep 0 sends each edge weight to
+// the neighbor, superstep 1 sums the inbox.
+type DegreeProgram struct {
+	Adapter *GraphAdapter
+	// Strength[v] holds the result after the engine halts.
+	Strength []float64
+}
+
+// NewDegreeProgram prepares a degree program over the adapter.
+func NewDegreeProgram(a *GraphAdapter) *DegreeProgram {
+	return &DegreeProgram{Adapter: a, Strength: make([]float64, a.NumVertices())}
+}
+
+// Init implements Program.
+func (p *DegreeProgram) Init(v VertexID) { p.Strength[v] = 0 }
+
+// Compute implements Program.
+func (p *DegreeProgram) Compute(ctx *Context, v VertexID, inbox []float64) {
+	switch ctx.Superstep {
+	case 0:
+		if p.Adapter.Alive(v) {
+			p.Adapter.EachNeighbor(v, func(nbr VertexID, w uint32) bool {
+				ctx.Send(nbr, float64(w))
+				return true
+			})
+		}
+		ctx.VoteHalt(v)
+	default:
+		for _, m := range inbox {
+			p.Strength[v] += m
+		}
+		ctx.VoteHalt(v)
+	}
+}
+
+// LabelPropagationProgram runs semi-synchronous label propagation: every
+// vertex starts with a unique label (its own ID), users update on odd
+// supersteps and items on even supersteps, each adopting the neighbor label
+// carried by the greatest total incident click weight (ties toward the
+// smaller label). The side alternation avoids the label oscillation that
+// plain synchronous LPA exhibits on bipartite graphs.
+//
+// Labels are double-buffered: Compute reads the labels published at the
+// last barrier (cur) and writes only its own slot of next; EndSuperstep
+// publishes next and checks convergence (two consecutive change-free side
+// rounds). One paper "round" is two supersteps, so run the engine with
+// 2×max_round+2 supersteps for the paper's max_round = 20.
+type LabelPropagationProgram struct {
+	Adapter *GraphAdapter
+	cur     []uint32
+	next    []uint32
+
+	changed []bool // per-vertex change flag for the current superstep
+	quiet   int
+	done    bool
+}
+
+// NewLabelPropagationProgram prepares an LPA program over the adapter.
+func NewLabelPropagationProgram(a *GraphAdapter) *LabelPropagationProgram {
+	n := a.NumVertices()
+	return &LabelPropagationProgram{
+		Adapter: a,
+		cur:     make([]uint32, n),
+		next:    make([]uint32, n),
+		changed: make([]bool, n),
+	}
+}
+
+// Labels returns the label of each vertex as of the last completed
+// superstep.
+func (p *LabelPropagationProgram) Labels() []uint32 { return p.cur }
+
+// Init implements Program: unique initial labels.
+func (p *LabelPropagationProgram) Init(v VertexID) {
+	p.cur[v] = v
+	p.next[v] = v
+	p.changed[v] = false
+}
+
+// Compute implements Program.
+func (p *LabelPropagationProgram) Compute(ctx *Context, v VertexID, inbox []float64) {
+	if p.done || !p.Adapter.Alive(v) {
+		ctx.VoteHalt(v)
+		return
+	}
+	if ctx.Superstep == 0 {
+		return // stay active; rounds begin at superstep 1
+	}
+	userTurn := ctx.Superstep%2 == 1
+	if p.Adapter.IsUser(v) != userTurn {
+		return // not this side's turn; stay active
+	}
+
+	tally := map[uint32]float64{}
+	p.Adapter.EachNeighbor(v, func(nbr VertexID, w uint32) bool {
+		tally[p.cur[nbr]] += float64(w)
+		return true
+	})
+	if len(tally) == 0 {
+		return
+	}
+	best := p.cur[v]
+	bestW := -1.0
+	for label, w := range tally {
+		if w > bestW || (w == bestW && label < best) {
+			best, bestW = label, w
+		}
+	}
+	p.next[v] = best
+	p.changed[v] = best != p.cur[v]
+}
+
+// EndSuperstep publishes the labels written this superstep and detects
+// convergence: once both sides pass a full round without changes, every
+// vertex votes to halt on its next turn.
+func (p *LabelPropagationProgram) EndSuperstep(step int) {
+	changes := 0
+	for v, ch := range p.changed {
+		if ch {
+			changes++
+			p.changed[v] = false
+		}
+	}
+	copy(p.cur, p.next)
+	if step == 0 {
+		return
+	}
+	if changes == 0 {
+		p.quiet++
+	} else {
+		p.quiet = 0
+	}
+	if p.quiet >= 2 {
+		p.done = true
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+// CorePruneProgram runs the CorePruning stage of RICD's Algorithm 3 as a
+// message-driven vertex program — the shape the paper's Grape deployment
+// used. Every vertex tracks its live degree; falling below the side's
+// minimum removes the vertex and notifies its neighbors, whose degrees
+// shrink in the next superstep. Removals cascade exactly like the
+// sequential queue-based fixpoint, and the program halts when no vertex
+// changes (no messages in flight).
+type CorePruneProgram struct {
+	Adapter *GraphAdapter
+	// MinUserDeg and MinItemDeg are ⌈α·k₂⌉ and ⌈α·k₁⌉ (Lemma 1).
+	MinUserDeg, MinItemDeg int
+
+	// Removed[v] marks vertices pruned by the program.
+	Removed []bool
+	degree  []int32
+}
+
+// NewCorePruneProgram prepares the program over the adapter.
+func NewCorePruneProgram(a *GraphAdapter, minUserDeg, minItemDeg int) *CorePruneProgram {
+	n := a.NumVertices()
+	return &CorePruneProgram{
+		Adapter:    a,
+		MinUserDeg: minUserDeg,
+		MinItemDeg: minItemDeg,
+		Removed:    make([]bool, n),
+		degree:     make([]int32, n),
+	}
+}
+
+// Init implements Program.
+func (p *CorePruneProgram) Init(v VertexID) {
+	p.Removed[v] = false
+	p.degree[v] = 0
+}
+
+// Compute implements Program. Each inbox message is one removed neighbor.
+func (p *CorePruneProgram) Compute(ctx *Context, v VertexID, inbox []float64) {
+	if p.Removed[v] {
+		ctx.VoteHalt(v)
+		return
+	}
+	if !p.Adapter.Alive(v) {
+		p.Removed[v] = true
+		ctx.VoteHalt(v)
+		return
+	}
+	if ctx.Superstep == 0 {
+		deg := 0
+		p.Adapter.EachNeighbor(v, func(VertexID, uint32) bool {
+			deg++
+			return true
+		})
+		p.degree[v] = int32(deg)
+	} else {
+		p.degree[v] -= int32(len(inbox))
+	}
+
+	min := p.MinItemDeg
+	if p.Adapter.IsUser(v) {
+		min = p.MinUserDeg
+	}
+	if int(p.degree[v]) < min {
+		p.Removed[v] = true
+		p.Adapter.EachNeighbor(v, func(nbr VertexID, _ uint32) bool {
+			ctx.Send(nbr, 1)
+			return true
+		})
+	}
+	ctx.VoteHalt(v)
+}
+
+// Survivors returns the user and item NodeIDs that survived pruning.
+func (p *CorePruneProgram) Survivors() (users, items []uint32) {
+	for v := 0; v < p.Adapter.NumVertices(); v++ {
+		id := VertexID(v)
+		if p.Removed[id] || !p.Adapter.Alive(id) {
+			continue
+		}
+		if p.Adapter.IsUser(id) {
+			users = append(users, p.Adapter.User(id))
+		} else {
+			items = append(items, p.Adapter.Item(id))
+		}
+	}
+	return users, items
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func runCorePrune(t *testing.T, g *bipartite.Graph, minU, minI, workers int) *CorePruneProgram {
+	t.Helper()
+	a := NewGraphAdapter(g)
+	e, err := New(a.NumVertices(), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewCorePruneProgram(a, minU, minI)
+	e.Run(p, a.NumVertices()+2)
+	return p
+}
+
+// sequentialCorePrune computes the reference fixpoint by repeated scanning.
+func sequentialCorePrune(g *bipartite.Graph, minU, minI int) *bipartite.Graph {
+	work := g.Clone()
+	for {
+		changed := false
+		work.EachLiveUser(func(u bipartite.NodeID) bool {
+			if work.UserDegree(u) < minU {
+				work.RemoveUser(u)
+				changed = true
+			}
+			return true
+		})
+		work.EachLiveItem(func(v bipartite.NodeID) bool {
+			if work.ItemDegree(v) < minI {
+				work.RemoveItem(v)
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			return work
+		}
+	}
+}
+
+func TestCorePruneProgramCascades(t *testing.T) {
+	// A path graph fully dissolves under min degree 2.
+	b := bipartite.NewBuilder(5, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(bipartite.NodeID(i), bipartite.NodeID(i), 1)
+		if i+1 < 5 {
+			b.Add(bipartite.NodeID(i+1), bipartite.NodeID(i), 1)
+		}
+	}
+	p := runCorePrune(t, b.Build(), 2, 2, 3)
+	users, items := p.Survivors()
+	if len(users) != 0 || len(items) != 0 {
+		t.Errorf("path survived: %d users, %d items", len(users), len(items))
+	}
+}
+
+func TestCorePruneProgramKeepsCore(t *testing.T) {
+	// A 4×4 biclique with pendant vertices: the biclique survives min
+	// degree 3, the pendants do not.
+	b := bipartite.NewBuilder(6, 6)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	b.Add(4, 0, 1) // pendant user
+	b.Add(0, 4, 1) // pendant item
+	p := runCorePrune(t, b.Build(), 3, 3, 2)
+	users, items := p.Survivors()
+	if len(users) != 4 || len(items) != 4 {
+		t.Errorf("survivors = %d users / %d items, want 4/4", len(users), len(items))
+	}
+}
+
+func TestCorePruneProgramMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := bipartite.NewBuilder(50, 50)
+		for e := 0; e < 300; e++ {
+			b.Add(bipartite.NodeID(rng.Intn(50)), bipartite.NodeID(rng.Intn(50)), 1)
+		}
+		g := b.Build()
+		minU, minI := 2+rng.Intn(3), 2+rng.Intn(3)
+
+		ref := sequentialCorePrune(g, minU, minI)
+		p := runCorePrune(t, g, minU, minI, 4)
+		users, items := p.Survivors()
+
+		if len(users) != ref.LiveUsers() || len(items) != ref.LiveItems() {
+			t.Fatalf("seed %d: engine survivors %d/%d, sequential %d/%d",
+				seed, len(users), len(items), ref.LiveUsers(), ref.LiveItems())
+		}
+		for _, u := range users {
+			if !ref.UserAlive(u) {
+				t.Fatalf("seed %d: engine kept user %d the reference pruned", seed, u)
+			}
+		}
+		for _, v := range items {
+			if !ref.ItemAlive(v) {
+				t.Fatalf("seed %d: engine kept item %d the reference pruned", seed, v)
+			}
+		}
+	}
+}
+
+func TestCorePruneProgramRespectsDeadVertices(t *testing.T) {
+	b := bipartite.NewBuilder(4, 4)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			b.Add(bipartite.NodeID(u), bipartite.NodeID(v), 1)
+		}
+	}
+	g := b.Build()
+	g.RemoveUser(0)
+	p := runCorePrune(t, g, 2, 2, 2)
+	users, _ := p.Survivors()
+	for _, u := range users {
+		if u == 0 {
+			t.Error("dead user resurrected by prune program")
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// testParams runs the experiments on the fast small dataset so the suite
+// stays quick; artifact structure, not absolute values, is under test.
+func testParams() Params {
+	det := core.DefaultParams()
+	det.THot = 400
+	return Params{Dataset: synth.SmallConfig(), Detection: det}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	p := testParams()
+	for _, e := range All() {
+		switch e.ID {
+		case "F8a", "F8b", "F9", "X7":
+			continue // the heavy ones have dedicated tests below
+		}
+		r, err := e.Run(p)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if r.ID != e.ID {
+			t.Errorf("%s: report ID = %q", e.ID, r.ID)
+		}
+		if strings.TrimSpace(r.Text) == "" {
+			t.Errorf("%s: empty report", e.ID)
+		}
+	}
+}
+
+func TestFindIsCaseInsensitive(t *testing.T) {
+	if _, ok := Find("f8a"); !ok {
+		t.Error("Find(f8a) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestRunFigure8SmallShape(t *testing.T) {
+	rows, err := RunFigure8(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d detectors, want 7", len(rows))
+	}
+	if rows[0].Name != "RICD" {
+		t.Errorf("first row = %q, want RICD", rows[0].Name)
+	}
+	for _, r := range rows {
+		if r.Screened.Precision < r.Raw.Precision-1e-9 {
+			t.Errorf("%s: screening lowered precision %v → %v",
+				r.Name, r.Raw.Precision, r.Screened.Precision)
+		}
+		if r.DetectElapsed <= 0 {
+			t.Errorf("%s: no detect time recorded", r.Name)
+		}
+	}
+	// RICD's F1 must be at least competitive: no detector may beat it by
+	// a wide margin on the small dataset.
+	best := 0.0
+	for _, r := range rows {
+		if r.Screened.F1 > best {
+			best = r.Screened.F1
+		}
+	}
+	if rows[0].Screened.F1 < best-0.1 {
+		t.Errorf("RICD F1 %v not competitive with best %v", rows[0].Screened.F1, best)
+	}
+}
+
+func TestRunTableVIOrdering(t *testing.T) {
+	rows, err := RunTableVI(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d variants, want 3", len(rows))
+	}
+	if !(rows[0].Name == "RICD-UI" && rows[1].Name == "RICD-I" && rows[2].Name == "RICD") {
+		t.Fatalf("variant order: %v %v %v", rows[0].Name, rows[1].Name, rows[2].Name)
+	}
+	if !(rows[2].Eval.Precision >= rows[1].Eval.Precision &&
+		rows[1].Eval.Precision >= rows[0].Eval.Precision) {
+		t.Errorf("precision not monotone across variants: %v %v %v",
+			rows[0].Eval.Precision, rows[1].Eval.Precision, rows[2].Eval.Precision)
+	}
+	if rows[0].Eval.Recall < rows[2].Eval.Recall-1e-9 {
+		t.Errorf("UI recall %v below full recall %v", rows[0].Eval.Recall, rows[2].Eval.Recall)
+	}
+}
+
+func TestRunFigure9SmallSweeps(t *testing.T) {
+	p := testParams()
+	sweeps, err := RunFigure9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 5 {
+		t.Fatalf("got %d sweeps, want 5", len(sweeps))
+	}
+	names := map[string]bool{}
+	for _, sw := range sweeps {
+		names[sw.Param] = true
+		if len(sw.Points) != 4 {
+			t.Errorf("%s: %d points, want 4", sw.Param, len(sw.Points))
+		}
+	}
+	for _, want := range []string{"k1", "k2", "alpha", "T_click", "T_hot"} {
+		if !names[want] {
+			t.Errorf("missing sweep %q", want)
+		}
+	}
+}
+
+func TestRunFigure10CaseStudy(t *testing.T) {
+	r, err := RunFigure10(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Timeline) != 13 {
+		t.Errorf("timeline = %d days, want 13", len(r.Timeline))
+	}
+	if r.CaughtUsers == 0 || r.CaughtItems == 0 {
+		t.Error("case study caught nothing")
+	}
+	if r.AssociationShare < 0.5 {
+		t.Errorf("association share = %v, want ≥ 0.5 (paper: >0.85)", r.AssociationShare)
+	}
+}
+
+func TestRunScaleSmall(t *testing.T) {
+	points, err := RunScale(testParams(), []int{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	if points[1].Edges <= points[0].Edges {
+		t.Errorf("edges did not grow with users: %d → %d", points[0].Edges, points[1].Edges)
+	}
+	for _, pt := range points {
+		if pt.Elapsed <= 0 {
+			t.Error("missing elapsed time")
+		}
+	}
+}
+
+func TestRunIncrementalGrows(t *testing.T) {
+	pts, err := RunIncremental(testParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	if pts[len(pts)-1].Eval.Recall <= pts[0].Eval.Recall {
+		t.Errorf("recall did not grow: day1=%v dayN=%v",
+			pts[0].Eval.Recall, pts[len(pts)-1].Eval.Recall)
+	}
+	if _, err := RunIncremental(testParams(), 0); err == nil {
+		t.Error("expected error for days=0")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	txt := table([]string{"a", "bbb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(txt, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table rendered %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	if s := sparkline([]float64{0, 1, 2, 4}); len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d, want 4", len([]rune(s)))
+	}
+	if s := sparkline(nil); s != "" {
+		t.Errorf("empty sparkline = %q", s)
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	p := testParams()
+	p.Dataset.NumUsers = 0 // invalid
+	if _, err := RunAll(p); err == nil {
+		t.Error("expected dataset error to propagate")
+	}
+}
+
+func TestFigure8bExcludesBudgetedDetectors(t *testing.T) {
+	r, err := Figure8b(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Text, "COPYCATCH") || strings.Contains(r.Text, "FRAUDAR") {
+		t.Error("Fig 8b must exclude COPYCATCH and FRAUDAR, as the paper does")
+	}
+}
+
+func TestExperimentsFinishQuickly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing check skipped in -short")
+	}
+	start := time.Now()
+	if _, err := TableI(testParams()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("TableI took %v", elapsed)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/i2i"
+	"repro/internal/synth"
+)
+
+// Figure10Result carries the case-study artifacts: the simulated traffic
+// timeline and the account-association statistic of the caught group.
+type Figure10Result struct {
+	Timeline []i2i.TrafficPoint
+	// AssociationShare is the fraction of caught accounts associated with
+	// the group's dominant crowdsourcing agency (paper: > 85%).
+	AssociationShare float64
+	// CaughtUsers and CaughtItems size the detected group.
+	CaughtUsers, CaughtItems int
+}
+
+// RunFigure10 reproduces the Section VII case study: simulate the
+// campaign-window traffic of a target item (Fig 10), run RICD on the
+// dataset, and verify the account-association evidence on the best-scored
+// caught group.
+func RunFigure10(p Params) (Figure10Result, error) {
+	var out Figure10Result
+
+	timeline, err := i2i.SimulateCampaign(i2i.DefaultCampaignConfig())
+	if err != nil {
+		return out, err
+	}
+	out.Timeline = timeline
+
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return out, err
+	}
+	d := &core.Detector{Params: p.Detection}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		return out, err
+	}
+	if len(res.Groups) == 0 {
+		return out, fmt.Errorf("experiments: case study found no groups")
+	}
+	caught := res.Groups[0] // highest risk score
+	out.CaughtUsers = len(caught.Users)
+	out.CaughtItems = len(caught.Items)
+
+	// Account association: among caught users that are true attackers,
+	// measure the share belonging to their group's dominant agency.
+	agencyOf := map[uint32]int{}
+	for _, grp := range ds.Groups {
+		for i, u := range grp.Attackers {
+			agencyOf[u] = grp.Agency[i]
+		}
+	}
+	counts := map[int]int{}
+	total := 0
+	for _, u := range caught.Users {
+		if ag, ok := agencyOf[u]; ok {
+			counts[ag]++
+			total++
+		}
+	}
+	best := 0
+	for _, n := range counts {
+		if n > best {
+			best = n
+		}
+	}
+	if total > 0 {
+		out.AssociationShare = float64(best) / float64(total)
+	}
+	return out, nil
+}
+
+// Figure10 renders the case study.
+func Figure10(p Params) (Report, error) {
+	r, err := RunFigure10(p)
+	if err != nil {
+		return Report{}, err
+	}
+	rows := make([][]string, 0, len(r.Timeline))
+	var totals []float64
+	for _, pt := range r.Timeline {
+		rows = append(rows, []string{
+			fmt.Sprint(pt.Day),
+			f2(pt.Normal), f2(pt.Abnormal), f2(pt.Total()),
+			fmt.Sprintf("%.4f", pt.I2IScore),
+		})
+		totals = append(totals, pt.Total())
+	}
+	var b strings.Builder
+	b.WriteString(table([]string{"day", "normal", "abnormal", "total", "I2I-score"}, rows))
+	fmt.Fprintf(&b, "traffic shape: %s\n", sparkline(totals))
+	b.WriteString("(attack ramps before the campaign, organic traffic surges days 6-9,\n" +
+		" detection on day 9 cleans fake clicks, traffic normalizes day 10, delisting day 13)\n\n")
+	fmt.Fprintf(&b, "caught group: %d accounts, %d target items; ", r.CaughtUsers, r.CaughtItems)
+	fmt.Fprintf(&b, "account-association share = %.0f%% (paper: >85%%)\n", 100*r.AssociationShare)
+	return Report{ID: "F10", Title: "Figure 10 — case study", Text: b.String()}, nil
+}

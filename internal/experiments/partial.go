@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// PartialLabelPoint is one sample of the X9 study.
+type PartialLabelPoint struct {
+	// KnownFraction of the true abnormal nodes are treated as "known".
+	KnownFraction float64
+	Eval          metrics.Eval
+}
+
+// RunPartialLabels (X9) quantifies the measurement artifact behind the gap
+// between this reproduction's absolute numbers and the paper's: the paper
+// evaluated against ~2,000 expert-confirmed nodes out of a larger unknown
+// abnormal population, so every correct detection outside the labeled set
+// counts AGAINST precision. Holding the detector output fixed and shrinking
+// the "known" set reproduces the paper's measured ranges.
+func RunPartialLabels(p Params, fractions []float64) ([]PartialLabelPoint, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	d := &core.Detector{Params: p.Detection}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(p.Dataset.Seed + 1000))
+	users := ds.Truth.UserIDs()
+	items := ds.Truth.ItemIDs()
+
+	var out []PartialLabelPoint
+	for _, frac := range fractions {
+		partial := detect.NewLabels()
+		for _, u := range sampleIDs(rng, users, frac) {
+			partial.Users[u] = true
+		}
+		for _, v := range sampleIDs(rng, items, frac) {
+			partial.Items[v] = true
+		}
+		out = append(out, PartialLabelPoint{
+			KnownFraction: frac,
+			Eval:          metrics.Evaluate(res, partial),
+		})
+	}
+	return out, nil
+}
+
+func sampleIDs(rng *rand.Rand, ids []bipartite.NodeID, frac float64) []bipartite.NodeID {
+	n := int(frac * float64(len(ids)))
+	if n > len(ids) {
+		n = len(ids)
+	}
+	perm := rng.Perm(len(ids))
+	out := make([]bipartite.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ids[perm[i]])
+	}
+	return out
+}
+
+// PartialLabels renders the X9 artifact.
+func PartialLabels(p Params) (Report, error) {
+	fractions := []float64{1.0, 0.75, 0.5, 0.25, 0.1}
+	points, err := RunPartialLabels(p, fractions)
+	if err != nil {
+		return Report{}, err
+	}
+	var rows [][]string
+	for _, pt := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", 100*pt.KnownFraction),
+			f3(pt.Eval.Precision), f3(pt.Eval.Recall), f3(pt.Eval.F1),
+		})
+	}
+	var b strings.Builder
+	b.WriteString(table([]string{"labels known", "measured P", "measured R", "measured F1"}, rows))
+	b.WriteString("\n(the detector output is IDENTICAL in every row — only the evaluator's\n" +
+		" knowledge shrinks. The paper measured against ~2,000 partial expert\n" +
+		" labels, which mechanically deflates precision exactly like this; its\n" +
+		" Table VI row RICD P=0.81/R=0.51 is consistent with a complete-label\n" +
+		" P near 1.0. The paper acknowledges this: \"the precision rate shown\n" +
+		" in the results will be lower than the true precision rate\".)\n")
+	return Report{ID: "X9", Title: "Extension — the partial-label measurement artifact", Text: b.String()}, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// TestReproducibilityPin pins the headline numbers of the default
+// experiment configuration (seed 1). Everything in the pipeline is
+// deterministic, so any change to the generator's random-stream consumption
+// or to the detection semantics shows up here as an explicit diff — update
+// the constants deliberately, alongside EXPERIMENTS.md, never accidentally.
+func TestReproducibilityPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale pin skipped in -short")
+	}
+	p := DefaultParams()
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dataset shape.
+	scale := ds.Table.Scale()
+	if scale.Users != 20289 || scale.Items != 4087 ||
+		scale.Edges != 152276 || scale.TotalClicks != 244090 {
+		t.Errorf("dataset scale drifted: %+v (update the pin AND EXPERIMENTS.md)", scale)
+	}
+	if got := ds.Truth.NumAbnormal(); got != 401 {
+		t.Errorf("abnormal nodes = %d, want 401", got)
+	}
+
+	// RICD at the Fig 8 defaults.
+	d := &core.Detector{Params: p.Detection}
+	res, err := d.Detect(ds.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := metrics.Evaluate(res, ds.Truth)
+	if ev.TruePositives != 261 || ev.Output != 261 {
+		t.Errorf("RICD pin drifted: %v (want tp=261 out=261)", ev)
+	}
+	if len(res.Groups) != 6 {
+		t.Errorf("RICD groups = %d, want 6", len(res.Groups))
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baselines/catchsync"
+	"repro/internal/baselines/quasi"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/metrics"
+	"repro/internal/riskcontrol"
+	"repro/internal/synth"
+)
+
+// RelatedWorkRow is one detector's outcome in the X8 comparison.
+type RelatedWorkRow struct {
+	Name    string
+	Eval    metrics.Eval
+	Groups  int
+	Elapsed time.Duration
+}
+
+// RunRelatedWork (X8) evaluates the Section II related-work approaches the
+// paper argues are NOT directly applicable — maximum quasi-biclique search
+// (outputs a single block), CATCHSYNC-style synchronized-behavior detection
+// (no group structure, camouflage-fragile), and the platform's rule-based
+// risk control (blind to budgeted attacks) — against RICD on the same
+// workload, raw (no +UI screening), so each approach's intrinsic behavior
+// is visible.
+func RunRelatedWork(p Params) ([]RelatedWorkRow, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	dets := []detect.Detector{
+		&core.Detector{Params: p.Detection},
+		quasi.DefaultDetector(p.Detection.K1, p.Detection.K2),
+		catchsync.DefaultDetector(),
+		&riskcontrol.Detector{Rules: riskcontrol.DefaultRules()},
+	}
+	var rows []RelatedWorkRow
+	for _, d := range dets {
+		res, err := d.Detect(ds.Graph)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RelatedWorkRow{
+			Name:    d.Name(),
+			Eval:    metrics.Evaluate(res, ds.Truth),
+			Groups:  len(res.Groups),
+			Elapsed: res.Elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// RelatedWork renders the X8 artifact.
+func RelatedWork(p Params) (Report, error) {
+	rows, err := RunRelatedWork(p)
+	if err != nil {
+		return Report{}, err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			f3(r.Eval.Precision), f3(r.Eval.Recall), f3(r.Eval.F1),
+			fmt.Sprint(r.Groups),
+			r.Elapsed.Round(time.Millisecond).String(),
+		})
+	}
+	var b strings.Builder
+	b.WriteString(table([]string{"detector", "P", "R", "F1", "groups", "elapsed"}, out))
+	b.WriteString("\n(Section II's case that related work is not directly applicable:\n" +
+		" maximum quasi-biclique search outputs ONE block and misses the other\n" +
+		" groups; CATCHSYNC flags synchronized users without group structure and\n" +
+		" degrades under camouflage; rule-based risk control never sees a\n" +
+		" budgeted attack at all.)\n")
+	return Report{ID: "X8", Title: "Extension — related-work detectors", Text: b.String()}, nil
+}

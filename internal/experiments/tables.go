@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/clicktable"
+	"repro/internal/synth"
+)
+
+// TableI reproduces Table I — the scale of the click table (users, items,
+// edges, total clicks), next to the paper's numbers for reference.
+func TableI(p Params) (Report, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return Report{}, err
+	}
+	s := ds.Table.Scale()
+	text := table(
+		[]string{"", "User", "Item", "Edge", "Total_click"},
+		[][]string{
+			{"paper (Taobao)", "20M", "4M", "90M", "200M"},
+			{"synthetic", fmt.Sprint(s.Users), fmt.Sprint(s.Items),
+				fmt.Sprint(s.Edges), fmt.Sprint(s.TotalClicks)},
+		},
+	)
+	return Report{ID: "T1", Title: "Table I — data scale", Text: text}, nil
+}
+
+// TableII reproduces Table II — Avg_clk, Avg_cnt, Stdev per side.
+func TableII(p Params) (Report, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return Report{}, err
+	}
+	st := clicktable.ComputeStats(ds.Table)
+	text := table(
+		[]string{"", "Avg_clk", "Avg_cnt", "Stdev"},
+		[][]string{
+			{"User (paper)", "11.35", "4.32", "33.34"},
+			{"User (synthetic)", f2(st.User.AvgClicks), f2(st.User.AvgCount), f2(st.User.StdevClicks)},
+			{"Item (paper)", "54.94", "20.49", "992.78"},
+			{"Item (synthetic)", f2(st.Item.AvgClicks), f2(st.Item.AvgCount), f2(st.Item.StdevClicks)},
+		},
+	)
+	return Report{ID: "T2", Title: "Table II — data statistics", Text: text}, nil
+}
+
+// TableIII reproduces Table III — part of the click record of a suspect: the
+// most active injected attacker's click list, annotated with item totals and
+// hotness, showing the crowd-worker signature (hot items touched lightly,
+// targets hammered, light camouflage).
+func TableIII(p Params) (Report, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return Report{}, err
+	}
+	// Pick the injected attacker with the largest click list.
+	var suspect bipartite.NodeID
+	bestDeg := -1
+	for u := range ds.Truth.Users {
+		if d := ds.Graph.UserDegree(u); d > bestDeg {
+			bestDeg = d
+			suspect = u
+		}
+	}
+	text := clickRecordTable(ds, suspect, p.Detection.THot) +
+		fmt.Sprintf("\n(suspect user %d: hot items clicked sparsely, ordinary targets ≥ T_click=%d)\n",
+			suspect, p.Detection.TClick)
+	return Report{ID: "T3", Title: "Table III — click record of a suspect", Text: text}, nil
+}
+
+// TableIV reproduces Table IV — the click record of an ordinary user: the
+// busiest normal (unlabeled) user, whose heavy clicks go to hot items.
+func TableIV(p Params) (Report, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return Report{}, err
+	}
+	var user bipartite.NodeID
+	var bestClicks uint64
+	ds.Graph.EachLiveUser(func(u bipartite.NodeID) bool {
+		if ds.Truth.Users[u] {
+			return true
+		}
+		if s := ds.Graph.UserStrength(u); s > bestClicks {
+			bestClicks = s
+			user = u
+		}
+		return true
+	})
+	text := clickRecordTable(ds, user, p.Detection.THot) +
+		fmt.Sprintf("\n(ordinary user %d: heavy clicks concentrate on hot items)\n", user)
+	return Report{ID: "T4", Title: "Table IV — click record of an ordinary user", Text: text}, nil
+}
+
+// clickRecordTable renders a user's click list the way Tables III/IV do:
+// sequence ID, clicks, the item's total clicks, and its hot flag (against
+// the experiments' T_hot). At most the ten heaviest-total items are shown,
+// ordered by item total clicks.
+func clickRecordTable(ds *synth.Dataset, u bipartite.NodeID, tHot uint64) string {
+	type rec struct {
+		clicks uint32
+		total  uint64
+	}
+	var recs []rec
+	ds.Graph.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+		recs = append(recs, rec{clicks: w, total: ds.Graph.ItemStrength(v)})
+		return true
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].total > recs[j].total })
+	if len(recs) > 10 {
+		recs = recs[:10]
+	}
+	rows := make([][]string, 0, len(recs))
+	for i, r := range recs {
+		hot := "0"
+		if r.total >= tHot {
+			hot = "1"
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(i + 1), fmt.Sprint(r.clicks), fmt.Sprint(r.total), hot,
+		})
+	}
+	return table([]string{"ID", "Click", "Total_click", "Hot"}, rows)
+}
+
+// TableV reproduces Table V — statistics of a suspicious item and a normal
+// item with similar total clicks: clicker count, per-user click mean/stdev/
+// max/min, and the share of abnormal users in each click list.
+func TableV(p Params) (Report, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return Report{}, err
+	}
+	// Suspicious item: the injected target with the most clicks.
+	var suspicious bipartite.NodeID
+	var susClicks uint64
+	for v := range ds.Truth.Items {
+		if s := ds.Graph.ItemStrength(v); s > susClicks {
+			susClicks = s
+			suspicious = v
+		}
+	}
+	// Normal item: the unlabeled item whose total clicks are closest
+	// (< 10% apart per the paper's setup).
+	var normal bipartite.NodeID
+	bestGap := uint64(1) << 62
+	ds.Graph.EachLiveItem(func(v bipartite.NodeID) bool {
+		if ds.Truth.Items[v] {
+			return true
+		}
+		s := ds.Graph.ItemStrength(v)
+		gap := s - susClicks
+		if s < susClicks {
+			gap = susClicks - s
+		}
+		if gap < bestGap {
+			bestGap = gap
+			normal = v
+		}
+		return true
+	})
+
+	rows := [][]string{
+		itemStatRow("suspicious", ds, suspicious),
+		itemStatRow("normal", ds, normal),
+	}
+	text := table([]string{"", "Total_click", "Mean", "Stdev", "User_num", "Max", "Min", "Abnormal%"}, rows)
+	return Report{ID: "T5", Title: "Table V — suspicious vs normal item", Text: text}, nil
+}
+
+func itemStatRow(label string, ds *synth.Dataset, v bipartite.NodeID) []string {
+	var weights []float64
+	abnormal := 0
+	users := 0
+	minW, maxW := uint32(1)<<31, uint32(0)
+	ds.Graph.EachItemNeighbor(v, func(u bipartite.NodeID, w uint32) bool {
+		weights = append(weights, float64(w))
+		users++
+		if ds.Truth.Users[u] {
+			abnormal++
+		}
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+		return true
+	})
+	var sum, sumSq float64
+	for _, w := range weights {
+		sum += w
+		sumSq += w * w
+	}
+	mean, stdev := 0.0, 0.0
+	if users > 0 {
+		mean = sum / float64(users)
+		if variance := sumSq/float64(users) - mean*mean; variance > 0 {
+			stdev = math.Sqrt(variance)
+		}
+	}
+	if users == 0 {
+		minW = 0
+	}
+	abnormalPct := 0.0
+	if users > 0 {
+		abnormalPct = 100 * float64(abnormal) / float64(users)
+	}
+	return []string{
+		label,
+		fmt.Sprint(ds.Graph.ItemStrength(v)),
+		f2(mean),
+		f2(stdev),
+		fmt.Sprint(users),
+		fmt.Sprint(maxW),
+		fmt.Sprint(minW),
+		f2(abnormalPct),
+	}
+}
+
+// Figure2 reproduces Fig 2a/2b — the log-binned click distributions of items
+// and users, rendered as count tables plus sparklines; both must be heavy-
+// tailed.
+func Figure2(p Params) (Report, error) {
+	ds, err := synth.Generate(p.Dataset)
+	if err != nil {
+		return Report{}, err
+	}
+	var b strings.Builder
+	for _, side := range []bipartite.Side{bipartite.ItemSide, bipartite.UserSide} {
+		h := bipartite.Histogram(ds.Graph, side)
+		rows := make([][]string, 0, len(h.Count))
+		var series []float64
+		for i := range h.Count {
+			lo := "0"
+			if i > 0 {
+				lo = fmt.Sprintf("[%d,%d)", h.BucketLow[i], h.BucketLow[i]*2)
+			}
+			rows = append(rows, []string{lo, fmt.Sprint(h.Count[i])})
+			series = append(series, float64(h.Count[i]))
+		}
+		share := bipartite.TopClickShare(ds.Graph, side, 0.2)
+		fmt.Fprintf(&b, "Fig 2 (%s side): top-20%% click share = %.3f, Gini = %.3f\n",
+			side, share, bipartite.GiniClicks(ds.Graph, side))
+		b.WriteString(table([]string{"clicks", "count"}, rows))
+		fmt.Fprintf(&b, "shape: %s\n\n", sparkline(series))
+	}
+	return Report{ID: "F2", Title: "Figure 2 — click distributions", Text: b.String()}, nil
+}

@@ -1,0 +1,148 @@
+package i2i
+
+import "fmt"
+
+// Campaign simulation for the Section VII case study (Fig 10): the traffic
+// trajectory of a target item through a marketing-campaign attack —
+// pre-campaign fake-click ramp-up, campaign-driven organic growth via the
+// hijacked recommendation slot, detection and cleanup, and final delisting.
+//
+// The normal-traffic component is driven mechanistically through the
+// I2I-score: exposure of the target in the hot item's recommendation list
+// is proportional to its (possibly manipulated) score, and misled organic
+// clicks are exposure × anchor traffic × click-through rate.
+
+// CampaignConfig parametrizes the simulation. Days are 1-based like Fig 10.
+type CampaignConfig struct {
+	Days int
+
+	// AttackStartDay is when crowd workers start clicking (before the
+	// campaign in the case study).
+	AttackStartDay int
+	// CampaignStartDay is when the marketing campaign begins (Day 6),
+	// multiplying the hot item's traffic.
+	CampaignStartDay int
+	// DetectionDay is when RICD catches the group and fake clicks are
+	// cleaned (Day 9).
+	DetectionDay int
+	// DelistDay is when the seller removes the items (Day 13).
+	DelistDay int
+
+	// BaseTraffic is the target's organic daily clicks before any attack.
+	BaseTraffic float64
+	// FakeClicksPerDay is the crowd workers' daily fake-click volume once
+	// the ramp is complete.
+	FakeClicksPerDay float64
+	// RampDays is how many days the fake traffic takes to reach full rate.
+	RampDays int
+
+	// AnchorBaseCoClicks is Σ C_j of the ridden hot item before the attack.
+	AnchorBaseCoClicks float64
+	// AnchorDailyTraffic is the hot item's daily click traffic outside the
+	// campaign window; CampaignBoost multiplies it during the campaign.
+	AnchorDailyTraffic float64
+	CampaignBoost      float64
+	// CTR converts recommendation exposure into clicks.
+	CTR float64
+}
+
+// DefaultCampaignConfig mirrors the case-study timeline: 13 days, attack
+// from day 3, campaign from day 6, detection on day 9, delisting on day 13.
+func DefaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Days:               13,
+		AttackStartDay:     3,
+		CampaignStartDay:   6,
+		DetectionDay:       9,
+		DelistDay:          13,
+		BaseTraffic:        40,
+		FakeClicksPerDay:   220,
+		RampDays:           3,
+		AnchorBaseCoClicks: 20000,
+		AnchorDailyTraffic: 8000,
+		CampaignBoost:      3.0,
+		CTR:                0.12,
+	}
+}
+
+// Validate reports configuration errors.
+func (c CampaignConfig) Validate() error {
+	switch {
+	case c.Days < 1:
+		return fmt.Errorf("i2i: Days must be ≥ 1, got %d", c.Days)
+	case c.AttackStartDay < 1 || c.AttackStartDay > c.Days:
+		return fmt.Errorf("i2i: AttackStartDay %d outside [1,%d]", c.AttackStartDay, c.Days)
+	case c.DetectionDay < c.AttackStartDay:
+		return fmt.Errorf("i2i: DetectionDay %d before AttackStartDay %d", c.DetectionDay, c.AttackStartDay)
+	case c.DelistDay < c.DetectionDay:
+		return fmt.Errorf("i2i: DelistDay %d before DetectionDay %d", c.DelistDay, c.DetectionDay)
+	case c.RampDays < 1:
+		return fmt.Errorf("i2i: RampDays must be ≥ 1, got %d", c.RampDays)
+	case c.CTR < 0 || c.CTR > 1:
+		return fmt.Errorf("i2i: CTR must be in [0,1], got %v", c.CTR)
+	}
+	return nil
+}
+
+// TrafficPoint is one day of the Fig 10 series.
+type TrafficPoint struct {
+	Day int
+	// Normal is organic traffic: base demand plus recommendation-misled
+	// clicks.
+	Normal float64
+	// Abnormal is the crowd workers' fake-click traffic.
+	Abnormal float64
+	// I2IScore is the manipulated score of the target in the hot item's
+	// list at the end of the day.
+	I2IScore float64
+}
+
+// Total returns the day's combined traffic.
+func (p TrafficPoint) Total() float64 { return p.Normal + p.Abnormal }
+
+// SimulateCampaign produces the Fig 10 timeline.
+func SimulateCampaign(cfg CampaignConfig) ([]TrafficPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]TrafficPoint, 0, cfg.Days)
+	cumFake := 0.0 // accumulated fake co-clicks feeding the I2I score
+	prevScore := 0.0
+
+	for day := 1; day <= cfg.Days; day++ {
+		var p TrafficPoint
+		p.Day = day
+
+		delisted := day >= cfg.DelistDay
+
+		// Fake clicks ramp from the attack start until detection cleanup.
+		if !delisted && day >= cfg.AttackStartDay && day < cfg.DetectionDay {
+			ramp := float64(day-cfg.AttackStartDay+1) / float64(cfg.RampDays)
+			if ramp > 1 {
+				ramp = 1
+			}
+			p.Abnormal = cfg.FakeClicksPerDay * ramp
+		}
+		cumFake += p.Abnormal
+		if day >= cfg.DetectionDay {
+			cumFake = 0 // the platform cleans the false click information
+		}
+
+		// The manipulated I2I score (Eq 1 with fake co-click mass added).
+		p.I2IScore = cumFake / (cfg.AnchorBaseCoClicks + cumFake)
+
+		// Organic traffic: base demand plus misled recommendation clicks,
+		// driven by yesterday's score (serving lags the log pipeline).
+		if !delisted {
+			anchor := cfg.AnchorDailyTraffic
+			if day >= cfg.CampaignStartDay {
+				anchor *= cfg.CampaignBoost
+			}
+			p.Normal = cfg.BaseTraffic + anchor*cfg.CTR*prevScore
+		}
+
+		prevScore = p.I2IScore
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package i2i
+
+import "testing"
+
+func TestCampaignConfigValidation(t *testing.T) {
+	if err := DefaultCampaignConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*CampaignConfig){
+		func(c *CampaignConfig) { c.Days = 0 },
+		func(c *CampaignConfig) { c.AttackStartDay = 0 },
+		func(c *CampaignConfig) { c.AttackStartDay = c.Days + 1 },
+		func(c *CampaignConfig) { c.DetectionDay = c.AttackStartDay - 1 },
+		func(c *CampaignConfig) { c.DelistDay = c.DetectionDay - 1 },
+		func(c *CampaignConfig) { c.RampDays = 0 },
+		func(c *CampaignConfig) { c.CTR = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultCampaignConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCampaignTimelineShape(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	pts, err := SimulateCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != cfg.Days {
+		t.Fatalf("got %d points, want %d", len(pts), cfg.Days)
+	}
+	day := func(d int) TrafficPoint { return pts[d-1] }
+
+	// Before the attack: pure base traffic, no abnormal.
+	for d := 1; d < cfg.AttackStartDay; d++ {
+		if day(d).Abnormal != 0 {
+			t.Errorf("day %d has abnormal traffic before attack", d)
+		}
+		if day(d).Normal != cfg.BaseTraffic {
+			t.Errorf("day %d normal = %v, want base %v", d, day(d).Normal, cfg.BaseTraffic)
+		}
+	}
+
+	// Abnormal traffic appears at attack start and grows through the ramp
+	// (Fig 10: "abnormal traffic had begun to increase before Day 6").
+	if day(cfg.AttackStartDay).Abnormal <= 0 {
+		t.Error("no abnormal traffic at attack start")
+	}
+	if day(cfg.AttackStartDay+1).Abnormal < day(cfg.AttackStartDay).Abnormal {
+		t.Error("abnormal traffic not ramping up")
+	}
+
+	// Normal traffic grows rapidly once the campaign starts (days 6-9).
+	if day(cfg.CampaignStartDay+1).Normal <= day(cfg.CampaignStartDay-1).Normal {
+		t.Error("campaign did not lift misled normal traffic")
+	}
+
+	// Detection cleans fake clicks: abnormal drops to zero.
+	for d := cfg.DetectionDay; d <= cfg.Days; d++ {
+		if day(d).Abnormal != 0 {
+			t.Errorf("day %d: abnormal traffic after detection", d)
+		}
+	}
+
+	// The day after detection, normal traffic falls back near base
+	// (Fig 10: "restored to the normal level (Day 10)").
+	post := day(cfg.DetectionDay + 1).Normal
+	peak := day(cfg.DetectionDay - 1).Normal
+	if post >= peak/2 {
+		t.Errorf("post-cleanup normal %v not clearly below peak %v", post, peak)
+	}
+
+	// After delisting: zero everything.
+	for d := cfg.DelistDay; d <= cfg.Days; d++ {
+		if day(d).Total() != 0 {
+			t.Errorf("day %d: traffic after delisting", d)
+		}
+	}
+}
+
+func TestCampaignScoreResetsOnDetection(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	pts, err := SimulateCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preDetect := pts[cfg.DetectionDay-2].I2IScore
+	atDetect := pts[cfg.DetectionDay-1].I2IScore
+	if preDetect <= 0 {
+		t.Error("I2I score not lifted before detection")
+	}
+	if atDetect != 0 {
+		t.Errorf("I2I score = %v on detection day, want 0 after cleanup", atDetect)
+	}
+}
+
+func TestCampaignTotal(t *testing.T) {
+	p := TrafficPoint{Normal: 3, Abnormal: 4}
+	if p.Total() != 7 {
+		t.Errorf("Total = %v, want 7", p.Total())
+	}
+}
+
+func TestSimulateCampaignRejectsBadConfig(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	cfg.Days = 0
+	if _, err := SimulateCampaign(cfg); err == nil {
+		t.Error("expected error")
+	}
+}

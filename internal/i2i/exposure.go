@@ -1,0 +1,68 @@
+package i2i
+
+import "repro/internal/bipartite"
+
+// Exposure quantifies the attack's end-to-end payoff: how much of the
+// recommendation real estate next to hot items the target items captured.
+// The paper's case study argues RICD "protects hundreds of thousands of
+// users from incorrect recommendations"; this is the measurement behind
+// that claim — slots occupied by targets × anchor traffic × CTR is the
+// volume of misled clicks.
+type Exposure struct {
+	// Anchors is the number of anchor items evaluated.
+	Anchors int
+	// Slots is Anchors × k: the total recommendation slots examined.
+	Slots int
+	// TargetSlots is how many of those slots are held by target items.
+	TargetSlots int
+	// AnchorsHit is the number of anchors with ≥ 1 target in their list.
+	AnchorsHit int
+}
+
+// Share returns the fraction of examined slots held by targets.
+func (e Exposure) Share() float64 {
+	if e.Slots == 0 {
+		return 0
+	}
+	return float64(e.TargetSlots) / float64(e.Slots)
+}
+
+// TargetExposure computes the exposure of `targets` in the top-k
+// recommendation lists of the given anchor items.
+func TargetExposure(g *bipartite.Graph, anchors []bipartite.NodeID,
+	targets map[bipartite.NodeID]bool, k int) Exposure {
+
+	var e Exposure
+	for _, anchor := range anchors {
+		if !g.ItemAlive(anchor) {
+			continue
+		}
+		recs := Recommend(g, anchor, k)
+		e.Anchors++
+		e.Slots += k
+		hit := false
+		for _, item := range recs {
+			if targets[item] {
+				e.TargetSlots++
+				hit = true
+			}
+		}
+		if hit {
+			e.AnchorsHit++
+		}
+	}
+	return e
+}
+
+// HotAnchors returns the live items with total clicks ≥ tHot — the anchor
+// set whose recommendation lists an attack tries to infiltrate.
+func HotAnchors(g *bipartite.Graph, tHot uint64) []bipartite.NodeID {
+	var out []bipartite.NodeID
+	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if g.ItemStrength(v) >= tHot {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}

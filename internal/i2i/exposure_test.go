@@ -1,0 +1,87 @@
+package i2i
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// exposureGraph: anchor 0 heavily co-clicked with target 1 (by attack users)
+// and lightly with normal items 2, 3. Anchor 4 is untouched.
+func exposureGraph() *bipartite.Graph {
+	b := bipartite.NewBuilder(30, 6)
+	// Attack: users 0..9 click anchor 0 and hammer target 1.
+	for u := bipartite.NodeID(0); u < 10; u++ {
+		b.Add(u, 0, 1)
+		b.Add(u, 1, 15)
+	}
+	// Normal co-clicks.
+	b.Add(10, 0, 2)
+	b.Add(10, 2, 1)
+	b.Add(11, 0, 1)
+	b.Add(11, 3, 1)
+	// Anchor 4's independent traffic.
+	b.Add(12, 4, 3)
+	b.Add(12, 5, 1)
+	return b.Build()
+}
+
+func TestTargetExposure(t *testing.T) {
+	g := exposureGraph()
+	targets := map[bipartite.NodeID]bool{1: true}
+	e := TargetExposure(g, []bipartite.NodeID{0, 4}, targets, 2)
+	if e.Anchors != 2 || e.Slots != 4 {
+		t.Fatalf("anchors/slots = %d/%d, want 2/4", e.Anchors, e.Slots)
+	}
+	// Target 1 dominates anchor 0's list; anchor 4's list has no targets.
+	if e.TargetSlots != 1 {
+		t.Errorf("TargetSlots = %d, want 1", e.TargetSlots)
+	}
+	if e.AnchorsHit != 1 {
+		t.Errorf("AnchorsHit = %d, want 1", e.AnchorsHit)
+	}
+	if e.Share() != 0.25 {
+		t.Errorf("Share = %v, want 0.25", e.Share())
+	}
+}
+
+func TestTargetExposureSkipsDeadAnchors(t *testing.T) {
+	g := exposureGraph()
+	g.RemoveItem(0)
+	e := TargetExposure(g, []bipartite.NodeID{0}, map[bipartite.NodeID]bool{1: true}, 3)
+	if e.Anchors != 0 || e.Slots != 0 || e.Share() != 0 {
+		t.Errorf("dead anchor counted: %+v", e)
+	}
+}
+
+func TestExposureDropsAfterRemovingAttackers(t *testing.T) {
+	g := exposureGraph()
+	targets := map[bipartite.NodeID]bool{1: true}
+	before := TargetExposure(g, []bipartite.NodeID{0}, targets, 1)
+	// Clean: remove the attack users.
+	for u := bipartite.NodeID(0); u < 10; u++ {
+		g.RemoveUser(u)
+	}
+	after := TargetExposure(g, []bipartite.NodeID{0}, targets, 1)
+	if before.TargetSlots != 1 {
+		t.Fatalf("pre-clean target not in top-1: %+v", before)
+	}
+	if after.TargetSlots != 0 {
+		t.Errorf("post-clean target still recommended: %+v", after)
+	}
+}
+
+func TestHotAnchors(t *testing.T) {
+	g := exposureGraph()
+	anchors := HotAnchors(g, 10)
+	// Anchor 0 has 14 clicks, target 1 has 150; others are below 10.
+	want := map[bipartite.NodeID]bool{0: true, 1: true}
+	if len(anchors) != 2 {
+		t.Fatalf("HotAnchors = %v", anchors)
+	}
+	for _, a := range anchors {
+		if !want[a] {
+			t.Errorf("unexpected hot anchor %d", a)
+		}
+	}
+}

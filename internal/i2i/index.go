@@ -1,0 +1,97 @@
+package i2i
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/bipartite"
+)
+
+// Index is a precomputed top-k I2I recommendation table — the serving-side
+// artifact a production recommender materializes nightly from the click
+// log, and the thing the "Ride Item's Coattails" attack ultimately poisons.
+type Index struct {
+	k     int
+	lists map[bipartite.NodeID][]ItemScore
+}
+
+// BuildIndex precomputes the top-k score lists of the given anchor items in
+// parallel across `workers` goroutines (0 means GOMAXPROCS).
+func BuildIndex(g *bipartite.Graph, anchors []bipartite.NodeID, k, workers int) *Index {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(anchors) {
+		workers = len(anchors)
+	}
+	idx := &Index{k: k, lists: make(map[bipartite.NodeID][]ItemScore, len(anchors))}
+	if len(anchors) == 0 {
+		return idx
+	}
+
+	type entry struct {
+		anchor bipartite.NodeID
+		list   []ItemScore
+	}
+	results := make([]entry, len(anchors))
+	var wg sync.WaitGroup
+	chunk := (len(anchors) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(anchors) {
+			hi = len(anchors)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				scores := Scores(g, anchors[i])
+				if len(scores) > k {
+					scores = scores[:k]
+				}
+				results[i] = entry{anchor: anchors[i], list: scores}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, e := range results {
+		idx.lists[e.anchor] = e.list
+	}
+	return idx
+}
+
+// K returns the list depth the index was built with.
+func (idx *Index) K() int { return idx.k }
+
+// Anchors returns the number of indexed anchor items.
+func (idx *Index) Anchors() int { return len(idx.lists) }
+
+// List returns the precomputed score list of an anchor (nil if the anchor
+// was not indexed).
+func (idx *Index) List(anchor bipartite.NodeID) []ItemScore {
+	return idx.lists[anchor]
+}
+
+// Recommend returns the indexed top-k item IDs for an anchor.
+func (idx *Index) Recommend(anchor bipartite.NodeID) []bipartite.NodeID {
+	list := idx.lists[anchor]
+	out := make([]bipartite.NodeID, 0, len(list))
+	for _, s := range list {
+		out = append(out, s.Item)
+	}
+	return out
+}
+
+// Rank returns the 1-based indexed position of target in anchor's list, or
+// 0 when absent (not co-clicked, below the top-k cut, or anchor unindexed).
+func (idx *Index) Rank(anchor, target bipartite.NodeID) int {
+	for i, s := range idx.lists[anchor] {
+		if s.Item == target {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package i2i
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/synth"
+)
+
+func TestIndexMatchesDirectComputation(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	anchors := HotAnchors(ds.Graph, 300)
+	if len(anchors) == 0 {
+		t.Fatal("no hot anchors in fixture")
+	}
+	idx := BuildIndex(ds.Graph, anchors, 5, 4)
+	if idx.Anchors() != len(anchors) || idx.K() != 5 {
+		t.Fatalf("index covers %d anchors k=%d, want %d/5", idx.Anchors(), idx.K(), len(anchors))
+	}
+	for _, a := range anchors {
+		want := Recommend(ds.Graph, a, 5)
+		got := idx.Recommend(a)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("anchor %d: indexed %v, direct %v", a, got, want)
+		}
+	}
+}
+
+func TestIndexWorkerIndependence(t *testing.T) {
+	ds := synth.MustGenerate(synth.SmallConfig())
+	anchors := HotAnchors(ds.Graph, 300)
+	one := BuildIndex(ds.Graph, anchors, 4, 1)
+	many := BuildIndex(ds.Graph, anchors, 4, 8)
+	for _, a := range anchors {
+		if !reflect.DeepEqual(one.List(a), many.List(a)) {
+			t.Errorf("anchor %d differs across worker counts", a)
+		}
+	}
+}
+
+func TestIndexRank(t *testing.T) {
+	g := recGraph()
+	idx := BuildIndex(g, []bipartite.NodeID{0}, 2, 2)
+	if r := idx.Rank(0, 1); r != 1 {
+		t.Errorf("Rank(0,1) = %d, want 1", r)
+	}
+	if r := idx.Rank(0, 99); r != 0 {
+		t.Errorf("Rank of absent item = %d, want 0", r)
+	}
+	if r := idx.Rank(5, 1); r != 0 {
+		t.Errorf("Rank under unindexed anchor = %d, want 0", r)
+	}
+}
+
+func TestIndexEmptyAnchors(t *testing.T) {
+	g := recGraph()
+	idx := BuildIndex(g, nil, 3, 4)
+	if idx.Anchors() != 0 {
+		t.Errorf("empty build indexed %d anchors", idx.Anchors())
+	}
+	if idx.Recommend(0) != nil && len(idx.Recommend(0)) != 0 {
+		t.Error("unindexed anchor returned recommendations")
+	}
+}

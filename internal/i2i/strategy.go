@@ -1,0 +1,46 @@
+package i2i
+
+// The attacker's click-allocation problem (Section IV-A). A crowd worker
+// has a click budget C_b for one attack task. Establishing the hot→target
+// link costs two clicks (one on each). Of the remaining C ≤ C_b−2 clicks,
+// C′ go to the target item and C−C′ to other items. Eq 2 gives the
+// resulting I2I-score; Eq 3 proves S is maximized iff C′ = C = C_b−2 —
+// click the hot item once, then pour everything into the target.
+
+// AttackScore evaluates Eq 2: the I2I-score of the target item after the
+// worker spends cPrime of c additional clicks on it.
+//
+//	baseSum = C_1 + … + C_n  (co-click mass of the hot item before attack)
+//	cInit   = C_{n+1}        (target's initial co-clicks; ≥ 1 once linked)
+func AttackScore(baseSum, cInit uint64, cPrime, c int) float64 {
+	num := float64(cInit) + float64(cPrime)
+	den := float64(baseSum) + float64(cInit) + float64(cPrime) + float64(c-cPrime)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// BestStrategy searches all feasible allocations 0 ≤ C′ ≤ C ≤ budget−2 and
+// returns the maximizer. By Eq 3 the result is always C′ = C = budget−2;
+// the exhaustive search exists so tests can verify the closed form.
+func BestStrategy(baseSum, cInit uint64, budget int) (cPrime, c int, score float64) {
+	best := -1.0
+	for cc := 0; cc <= budget-2; cc++ {
+		for cp := 0; cp <= cc; cp++ {
+			if s := AttackScore(baseSum, cInit, cp, cc); s > best {
+				best, cPrime, c = s, cp, cc
+			}
+		}
+	}
+	return cPrime, c, best
+}
+
+// OptimalStrategy returns the closed-form optimum of Eq 3: spend every
+// spare click on the target.
+func OptimalStrategy(budget int) (cPrime, c int) {
+	if budget < 2 {
+		return 0, 0
+	}
+	return budget - 2, budget - 2
+}

@@ -1,0 +1,79 @@
+package i2i
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttackScoreEq2(t *testing.T) {
+	// baseSum=100, cInit=1, cPrime=10, c=10: S = 11/(100+11) = 11/111.
+	got := AttackScore(100, 1, 10, 10)
+	want := 11.0 / 111.0
+	if got != want {
+		t.Errorf("AttackScore = %v, want %v", got, want)
+	}
+	// Wasting clicks elsewhere (c > cPrime) must lower the score.
+	if AttackScore(100, 1, 10, 15) >= got {
+		t.Error("wasted clicks did not lower the score")
+	}
+}
+
+func TestAttackScoreZeroDenominator(t *testing.T) {
+	if s := AttackScore(0, 0, 0, 0); s != 0 {
+		t.Errorf("degenerate score = %v, want 0", s)
+	}
+}
+
+func TestOptimalStrategyClosedForm(t *testing.T) {
+	cp, c := OptimalStrategy(20)
+	if cp != 18 || c != 18 {
+		t.Errorf("OptimalStrategy(20) = (%d,%d), want (18,18)", cp, c)
+	}
+	cp, c = OptimalStrategy(1)
+	if cp != 0 || c != 0 {
+		t.Errorf("OptimalStrategy(1) = (%d,%d), want (0,0)", cp, c)
+	}
+}
+
+// Property (Eq 3): the exhaustive maximizer always equals the closed form
+// C′ = C = C_b − 2, for any base mass and budget.
+func TestPropertyBestStrategyIsClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		baseSum := uint64(1 + rng.Intn(100000))
+		cInit := uint64(1 + rng.Intn(3))
+		budget := 2 + rng.Intn(30)
+		cp, c, score := BestStrategy(baseSum, cInit, budget)
+		wantCp, wantC := OptimalStrategy(budget)
+		if cp != wantCp || c != wantC {
+			return false
+		}
+		return score == AttackScore(baseSum, cInit, wantCp, wantC)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the attack score is monotone increasing in cPrime at fixed c.
+func TestPropertyScoreMonotoneInTargetClicks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		baseSum := uint64(1 + rng.Intn(10000))
+		cInit := uint64(1 + rng.Intn(3))
+		c := 1 + rng.Intn(30)
+		prev := -1.0
+		for cp := 0; cp <= c; cp++ {
+			s := AttackScore(baseSum, cInit, cp, c)
+			if s <= prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

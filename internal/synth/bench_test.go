@@ -1,0 +1,32 @@
+package synth
+
+import "testing"
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := SmallConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventStream(b *testing.B) {
+	ds := MustGenerate(SmallConfig())
+	cfg := DefaultEventStreamConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EventStream(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	ds := MustGenerate(SmallConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ds.Table.Aggregate()
+	}
+}

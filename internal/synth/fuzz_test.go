@@ -1,0 +1,31 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLabels asserts the label parser never panics and accepted labels
+// re-serialize consistently (WriteLabels needs a Dataset, so the check here
+// is acceptance-stability: parsing twice gives identical results).
+func FuzzReadLabels(f *testing.F) {
+	f.Add("kind,id,group\nuser,1,0\nitem,2,0\n")
+	f.Add("kind,id,group\n")
+	f.Add("kind,id,group\nuser,4294967295,11\n")
+	f.Add("")
+	f.Add("kind,id,group\nwidget,1,0\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		l1, g1, err := ReadLabels(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		l2, g2, err := ReadLabels(bytes.NewReader([]byte(data)))
+		if err != nil {
+			t.Fatalf("second parse rejected identical input: %v", err)
+		}
+		if l1.NumAbnormal() != l2.NumAbnormal() || len(g1) != len(g2) {
+			t.Fatal("parse not deterministic")
+		}
+	})
+}

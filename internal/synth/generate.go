@@ -1,0 +1,373 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bipartite"
+	"repro/internal/clicktable"
+	"repro/internal/detect"
+)
+
+// InjectedGroup describes one implanted attack group: the ground truth a
+// detector is judged against, plus the hot items the group rides (victims,
+// not targets) and the agency affiliation of each attacker (used only by
+// the Section VII case-study reproduction).
+type InjectedGroup struct {
+	Attackers []bipartite.NodeID
+	Targets   []bipartite.NodeID
+	HotItems  []bipartite.NodeID
+	// Agency[i] is the crowdsourcing-agency ID of Attackers[i].
+	Agency []int
+}
+
+// Dataset is a generated workload: the click table, its graph, complete
+// ground truth, and the injected-group descriptions.
+type Dataset struct {
+	Config Config
+	Table  *clicktable.Table
+	Graph  *bipartite.Graph
+	Truth  *detect.Labels
+	Groups []InjectedGroup
+
+	// NumNormalUsers and NumNormalItems delimit the ID ranges: user IDs
+	// >= NumNormalUsers are attackers, item IDs >= NumNormalItems are
+	// injected target items.
+	NumNormalUsers int
+	NumNormalItems int
+}
+
+// Generate builds a dataset from the configuration. Generation is
+// deterministic in Config (including Seed).
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.NumUsers <= 0 || cfg.NumItems <= 0 {
+		return nil, fmt.Errorf("synth: need positive NumUsers/NumItems, got %d/%d", cfg.NumUsers, cfg.NumItems)
+	}
+	if cfg.UserActivityAlpha <= 1 {
+		return nil, fmt.Errorf("synth: UserActivityAlpha must be > 1, got %v", cfg.UserActivityAlpha)
+	}
+	if cfg.ItemZipfS <= 1 {
+		return nil, fmt.Errorf("synth: ItemZipfS must be > 1, got %v", cfg.ItemZipfS)
+	}
+	if a := cfg.Attack; a.Groups > 0 {
+		switch {
+		case a.AttackersMin <= 0 || a.AttackersMax < a.AttackersMin:
+			return nil, fmt.Errorf("synth: bad attacker bounds [%d,%d]", a.AttackersMin, a.AttackersMax)
+		case a.TargetsMin <= 0 || a.TargetsMax < a.TargetsMin:
+			return nil, fmt.Errorf("synth: bad target bounds [%d,%d]", a.TargetsMin, a.TargetsMax)
+		case a.HotMin <= 0 || a.HotMax < a.HotMin:
+			return nil, fmt.Errorf("synth: bad hot bounds [%d,%d]", a.HotMin, a.HotMax)
+		case a.TargetClicksMin <= 0 || a.TargetClicksMax < a.TargetClicksMin:
+			return nil, fmt.Errorf("synth: bad target-click bounds [%d,%d]", a.TargetClicksMin, a.TargetClicksMax)
+		case a.Participation <= 0 || a.Participation > 1:
+			return nil, fmt.Errorf("synth: Participation must be in (0,1], got %v", a.Participation)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := clicktable.New(cfg.NumUsers * 8)
+
+	rankToItem := generateBackground(rng, cfg, tbl)
+	generateConfusers(rng, cfg, tbl, rankToItem)
+
+	ds := &Dataset{
+		Config:         cfg,
+		Truth:          detect.NewLabels(),
+		NumNormalUsers: cfg.NumUsers,
+		NumNormalItems: cfg.NumItems,
+	}
+	injectAttacks(rng, cfg, tbl, ds)
+
+	ds.Table = tbl.Aggregate()
+	ds.Graph = ds.Table.ToGraph()
+	return ds, nil
+}
+
+// MustGenerate is Generate for known-good configurations; it panics on
+// configuration errors. Intended for tests and benchmarks.
+func MustGenerate(cfg Config) *Dataset {
+	ds, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// generateBackground emits the normal click traffic: each user performs a
+// Pareto-distributed number of click events, each event picking an item
+// from a Zipf popularity distribution; repeated picks of the same item
+// accumulate into multi-click edges (heavier on popular items, matching the
+// ordinary-user profile of the paper's Table IV). It returns the popularity
+// rank → item ID mapping for downstream confuser generation.
+func generateBackground(rng *rand.Rand, cfg Config, tbl *clicktable.Table) []int {
+	zipf := rand.NewZipf(rng, cfg.ItemZipfS, cfg.ItemZipfV, uint64(cfg.NumItems-1))
+	// Shuffle the popularity ranks onto item IDs so that popular items are
+	// spread across the ID space rather than clustered at ID 0.
+	rankToItem := rng.Perm(cfg.NumItems)
+
+	for u := 0; u < cfg.NumUsers; u++ {
+		events := int(paretoSample(rng, cfg.UserActivityMin, cfg.UserActivityAlpha))
+		if events < 1 {
+			events = 1
+		}
+		// Cap pathological tail draws to keep single users from dominating
+		// the dataset (Taobao's risk control would likewise throttle them).
+		if events > 400 {
+			events = 400
+		}
+		clicks := map[int]uint32{}
+		for e := 0; e < events; e++ {
+			clicks[rankToItem[int(zipf.Uint64())]]++
+		}
+		for item, n := range clicks {
+			tbl.Append(uint32(u), uint32(item), n)
+		}
+	}
+	return rankToItem
+}
+
+// generateConfusers emits the innocent heavy-click populations: loyal fans
+// who re-click a few favorite mid-popularity items many times, and
+// group-buying crowds hammering a single item together. Neither is labeled
+// abnormal — they exist to punish detectors that mistake heavy clicks alone
+// for attack behavior.
+func generateConfusers(rng *rand.Rand, cfg Config, tbl *clicktable.Table, rankToItem []int) {
+	c := cfg.Confusers
+
+	// Favorite items come from the mid-popularity band: below the hot
+	// range (attacks ride the top) but popular enough that many fans can
+	// share a favorite.
+	bandLo := cfg.NumItems / 50
+	bandHi := cfg.NumItems / 4
+	if bandLo < 1 {
+		bandLo = 1
+	}
+	if bandHi <= bandLo {
+		bandHi = bandLo + 1
+	}
+	pickBandItem := func() uint32 {
+		return uint32(rankToItem[bandLo+rng.Intn(bandHi-bandLo)])
+	}
+
+	if c.FanFraction > 0 && c.FanItemsMax > 0 {
+		numFans := int(c.FanFraction * float64(cfg.NumUsers))
+		for f := 0; f < numFans; f++ {
+			u := uint32(rng.Intn(cfg.NumUsers))
+			favorites := 1 + rng.Intn(c.FanItemsMax)
+			for i := 0; i < favorites; i++ {
+				tbl.Append(u, pickBandItem(),
+					uint32(randBetween(rng, c.FanClicksMin, c.FanClicksMax)))
+			}
+		}
+	}
+
+	for gb := 0; gb < c.GroupBuys; gb++ {
+		item := pickBandItem()
+		crowd := randBetween(rng, c.GroupBuyUsersMin, c.GroupBuyUsersMax)
+		for i := 0; i < crowd; i++ {
+			u := uint32(rng.Intn(cfg.NumUsers))
+			tbl.Append(u, item,
+				uint32(randBetween(rng, c.GroupBuyClicksMin, c.GroupBuyClicksMax)))
+		}
+	}
+}
+
+// paretoSample draws from a Pareto distribution with scale xm and shape
+// alpha: P(X > x) = (xm/x)^alpha for x >= xm.
+func paretoSample(rng *rand.Rand, xm, alpha float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// injectAttacks implants cfg.Attack.Groups attack groups following the
+// optimal crowd-worker strategy derived in Section IV-A of the paper.
+func injectAttacks(rng *rand.Rand, cfg Config, tbl *clicktable.Table, ds *Dataset) {
+	a := cfg.Attack
+	if a.Groups == 0 {
+		return
+	}
+
+	// Hot items ridden by attacks are drawn from the most popular normal
+	// items (popularity re-derived from the table to stay agnostic of the
+	// generator internals). The pool is deliberately shallow so that the
+	// ridden items are genuinely hot under the experiments' T_hot values;
+	// different groups therefore often ride the same hot items, exactly
+	// like real attacks piling onto the same flagship products.
+	poolSize := a.HotPoolSize
+	if poolSize <= 0 {
+		poolSize = maxInt(a.HotMax*3, 12)
+	}
+	hotPool := topItemsByClicks(tbl, poolSize)
+
+	nextUser := uint32(cfg.NumUsers)
+	nextItem := uint32(cfg.NumItems)
+	agencyCounter := 0
+
+	for gi := 0; gi < a.Groups; gi++ {
+		// Group sizes span the detectability spectrum: the first
+		// CampaignGroups are mega-campaigns whose targets will cross a
+		// low hot threshold (the Fig 9e effect); the rest alternate small
+		// crews near k₁ and mid-size crews.
+		mid := (a.AttackersMin + a.AttackersMax) / 2
+		var numAttackers int
+		switch {
+		case gi < a.CampaignGroups && a.CampaignAttackers > 0:
+			numAttackers = randBetween(rng,
+				a.CampaignAttackers*9/10, a.CampaignAttackers*11/10)
+		case gi == a.CampaignGroups:
+			// One minimal crew hugging the k₁ bound: it is what the α,
+			// T_click and k₁ sensitivity sweeps pivot on.
+			numAttackers = randBetween(rng, a.AttackersMin, a.AttackersMin+4)
+		case gi%2 == 0:
+			numAttackers = randBetween(rng, a.AttackersMin, mid)
+		default:
+			numAttackers = randBetween(rng, mid+1, a.AttackersMax)
+		}
+		numTargets := randBetween(rng, a.TargetsMin, a.TargetsMax)
+		numHot := randBetween(rng, a.HotMin, a.HotMax)
+
+		grp := InjectedGroup{}
+
+		// Target items are new item IDs with a trickle of organic traffic.
+		for t := 0; t < numTargets; t++ {
+			item := nextItem
+			nextItem++
+			grp.Targets = append(grp.Targets, item)
+			ds.Truth.Items[item] = true
+			organic := poissonish(rng, a.OrganicClickers)
+			for o := 0; o < organic; o++ {
+				u := uint32(rng.Intn(cfg.NumUsers))
+				tbl.Append(u, item, uint32(1+rng.Intn(2)))
+			}
+		}
+
+		// Hot items: sample without replacement from the hot pool.
+		perm := rng.Perm(len(hotPool))
+		for h := 0; h < numHot && h < len(hotPool); h++ {
+			grp.HotItems = append(grp.HotItems, hotPool[perm[h]])
+		}
+
+		// Attacker accounts: new user IDs, mostly from one agency.
+		dominantAgency := agencyCounter
+		agencyCounter++
+		for w := 0; w < numAttackers; w++ {
+			user := nextUser
+			nextUser++
+			grp.Attackers = append(grp.Attackers, user)
+			ds.Truth.Users[user] = true
+			agency := dominantAgency
+			if rng.Float64() >= a.AgencyLoyalty {
+				agency = agencyCounter + 1000 + rng.Intn(100) // outside account
+			}
+			grp.Agency = append(grp.Agency, agency)
+
+			// Hot-item clicks: the optimal strategy is one click; leave a
+			// little slack up to HotClicksMax (paper: average < 4).
+			for _, hot := range grp.HotItems {
+				c := uint32(1)
+				if a.HotClicksMax > 1 && rng.Float64() < 0.35 {
+					c = uint32(2 + rng.Intn(a.HotClicksMax-1))
+				}
+				tbl.Append(user, hot, c)
+			}
+
+			// Target clicks: spend the budget here (Eq 3: maximize clicks
+			// on the target). Participation < 1 drops some attacker-target
+			// edges, producing a near-biclique.
+			for _, target := range grp.Targets {
+				if rng.Float64() > a.Participation {
+					continue
+				}
+				c := uint32(randBetween(rng, a.TargetClicksMin, a.TargetClicksMax))
+				tbl.Append(user, target, c)
+			}
+
+			// Camouflage: a few light clicks on random normal items,
+			// avoiding the group's hot items (the worker already has those
+			// edges and extra clicks there would waste the budget, Eq 3).
+			inGroup := map[uint32]bool{}
+			for _, h := range grp.HotItems {
+				inGroup[h] = true
+			}
+			camo := randBetween(rng, a.CamouflageItemsMin, a.CamouflageItemsMax)
+			for c := 0; c < camo; c++ {
+				item := uint32(rng.Intn(cfg.NumItems))
+				if inGroup[item] {
+					continue
+				}
+				tbl.Append(user, item, uint32(1+rng.Intn(maxInt(a.CamouflageClicksMax, 1))))
+			}
+		}
+
+		ds.Groups = append(ds.Groups, grp)
+	}
+}
+
+// topItemsByClicks returns the IDs of the k items with the highest total
+// clicks in the table.
+func topItemsByClicks(tbl *clicktable.Table, k int) []bipartite.NodeID {
+	totals := map[uint32]uint64{}
+	tbl.Each(func(r clicktable.Record) bool {
+		totals[r.ItemID] += uint64(r.Clicks)
+		return true
+	})
+	type kv struct {
+		id uint32
+		n  uint64
+	}
+	all := make([]kv, 0, len(totals))
+	for id, n := range totals {
+		all = append(all, kv{id, n})
+	}
+	// Partial selection sort is fine: k is small.
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].n > all[best].n || (all[j].n == all[best].n && all[j].id < all[best].id) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([]bipartite.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+func randBetween(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// poissonish draws a small non-negative count with the given mean using a
+// simple binomial approximation (adequate for organic-click counts).
+func poissonish(rng *rand.Rand, mean int) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < mean*2; i++ {
+		if rng.Float64() < 0.5 {
+			n++
+		}
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

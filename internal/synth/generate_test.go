@@ -1,0 +1,288 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/clicktable"
+)
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Len() != b.Table.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Table.Len(), b.Table.Len())
+	}
+	for i := 0; i < a.Table.Len(); i++ {
+		if a.Table.Row(i) != b.Table.Row(i) {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a.Table.Row(i), b.Table.Row(i))
+		}
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	cfg := SmallConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed = 2
+	b, _ := Generate(cfg)
+	same := a.Table.Len() == b.Table.Len()
+	if same {
+		for i := 0; i < a.Table.Len(); i++ {
+			if a.Table.Row(i) != b.Table.Row(i) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NumUsers = 0 },
+		func(c *Config) { c.NumItems = -1 },
+		func(c *Config) { c.UserActivityAlpha = 1.0 },
+		func(c *Config) { c.ItemZipfS = 0.9 },
+		func(c *Config) { c.Attack.AttackersMin = 0 },
+		func(c *Config) { c.Attack.AttackersMax = c.Attack.AttackersMin - 1 },
+		func(c *Config) { c.Attack.TargetsMin = 0 },
+		func(c *Config) { c.Attack.HotMin = 0 },
+		func(c *Config) { c.Attack.TargetClicksMin = 0 },
+		func(c *Config) { c.Attack.Participation = 0 },
+		func(c *Config) { c.Attack.Participation = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := SmallConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestBackgroundStatisticsNearPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Attack.Groups = 0 // background only
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := clicktable.ComputeStats(ds.Table)
+	// The paper's Table II: Avg_clk = 11.35, Avg_cnt = 4.32 for users.
+	// The generator targets those shapes loosely.
+	if stats.User.AvgClicks < 5 || stats.User.AvgClicks > 25 {
+		t.Errorf("User.AvgClicks = %v, want within [5,25] (paper: 11.35)", stats.User.AvgClicks)
+	}
+	if stats.User.AvgCount < 2 || stats.User.AvgCount > 12 {
+		t.Errorf("User.AvgCount = %v, want within [2,12] (paper: 4.32)", stats.User.AvgCount)
+	}
+	// Item stdev far exceeds user stdev (paper: 992 vs 33).
+	if stats.Item.StdevClicks < 3*stats.User.StdevClicks {
+		t.Errorf("Item.StdevClicks = %v not ≫ User.StdevClicks = %v",
+			stats.Item.StdevClicks, stats.User.StdevClicks)
+	}
+}
+
+func TestBackgroundHeavyTail(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Attack.Groups = 0
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := bipartite.TopClickShare(ds.Graph, bipartite.ItemSide, 0.2)
+	if share < 0.6 {
+		t.Errorf("top-20%% item click share = %v, want ≥ 0.6 (Pareto principle)", share)
+	}
+	gini := bipartite.GiniClicks(ds.Graph, bipartite.ItemSide)
+	if gini < 0.5 {
+		t.Errorf("item Gini = %v, want ≥ 0.5", gini)
+	}
+}
+
+func TestInjectedIDRanges(t *testing.T) {
+	ds := testDataset(t)
+	for u := range ds.Truth.Users {
+		if int(u) < ds.NumNormalUsers {
+			t.Errorf("attacker %d inside normal user ID range", u)
+		}
+	}
+	for v := range ds.Truth.Items {
+		if int(v) < ds.NumNormalItems {
+			t.Errorf("target item %d inside normal item ID range", v)
+		}
+	}
+}
+
+func TestInjectedGroupsMatchLabels(t *testing.T) {
+	ds := testDataset(t)
+	users := 0
+	items := 0
+	for _, g := range ds.Groups {
+		users += len(g.Attackers)
+		items += len(g.Targets)
+		for _, u := range g.Attackers {
+			if !ds.Truth.Users[u] {
+				t.Errorf("attacker %d not labeled", u)
+			}
+		}
+		for _, v := range g.Targets {
+			if !ds.Truth.Items[v] {
+				t.Errorf("target %d not labeled", v)
+			}
+		}
+		for _, h := range g.HotItems {
+			if ds.Truth.Items[h] {
+				t.Errorf("hot item %d wrongly labeled as target", h)
+			}
+		}
+		if len(g.Agency) != len(g.Attackers) {
+			t.Errorf("agency list length %d != attackers %d", len(g.Agency), len(g.Attackers))
+		}
+	}
+	if users != len(ds.Truth.Users) || items != len(ds.Truth.Items) {
+		t.Errorf("groups carry %d users / %d items, labels have %d / %d",
+			users, items, len(ds.Truth.Users), len(ds.Truth.Items))
+	}
+}
+
+func TestGroupSizesWithinBounds(t *testing.T) {
+	ds := testDataset(t)
+	a := ds.Config.Attack
+	if len(ds.Groups) != a.Groups {
+		t.Fatalf("got %d groups, want %d", len(ds.Groups), a.Groups)
+	}
+	for i, g := range ds.Groups {
+		if i < a.CampaignGroups {
+			lo, hi := a.CampaignAttackers*9/10, a.CampaignAttackers*11/10
+			if n := len(g.Attackers); n < lo || n > hi {
+				t.Errorf("campaign group %d: %d attackers, want [%d,%d]", i, n, lo, hi)
+			}
+		} else if n := len(g.Attackers); n < a.AttackersMin || n > a.AttackersMax {
+			t.Errorf("group %d: %d attackers, want [%d,%d]", i, n, a.AttackersMin, a.AttackersMax)
+		}
+		if n := len(g.Targets); n < a.TargetsMin || n > a.TargetsMax {
+			t.Errorf("group %d: %d targets, want [%d,%d]", i, n, a.TargetsMin, a.TargetsMax)
+		}
+		if n := len(g.HotItems); n < a.HotMin || n > a.HotMax {
+			t.Errorf("group %d: %d hot items, want [%d,%d]", i, n, a.HotMin, a.HotMax)
+		}
+	}
+}
+
+func TestAttackerClickPattern(t *testing.T) {
+	ds := testDataset(t)
+	a := ds.Config.Attack
+	g := ds.Graph
+	for _, grp := range ds.Groups {
+		for _, u := range grp.Attackers {
+			// Hot clicks small (paper: avg < 4, optimal strategy 1).
+			var hotClicks, hotEdges int
+			for _, h := range grp.HotItems {
+				if w := g.Weight(u, h); w > 0 {
+					hotClicks += int(w)
+					hotEdges++
+					if int(w) > a.HotClicksMax {
+						t.Errorf("attacker %d clicked hot %d %d times > max %d", u, h, w, a.HotClicksMax)
+					}
+				}
+			}
+			if hotEdges == 0 {
+				t.Errorf("attacker %d has no hot-item edge", u)
+			}
+			if hotEdges > 0 && float64(hotClicks)/float64(hotEdges) >= 4 {
+				t.Errorf("attacker %d: avg hot clicks %v ≥ 4", u, float64(hotClicks)/float64(hotEdges))
+			}
+			// Target clicks within the configured budget band.
+			participated := 0
+			for _, target := range grp.Targets {
+				w := int(g.Weight(u, target))
+				if w == 0 {
+					continue
+				}
+				participated++
+				if w < a.TargetClicksMin || w > a.TargetClicksMax {
+					t.Errorf("attacker %d clicked target %d %d times, want [%d,%d]",
+						u, target, w, a.TargetClicksMin, a.TargetClicksMax)
+				}
+			}
+			if participated == 0 {
+				t.Errorf("attacker %d clicked no targets", u)
+			}
+		}
+	}
+}
+
+func TestTargetsDrawOrganicTraffic(t *testing.T) {
+	ds := testDataset(t)
+	g := ds.Graph
+	organic := 0
+	for _, grp := range ds.Groups {
+		for _, target := range grp.Targets {
+			g.EachItemNeighbor(target, func(u bipartite.NodeID, _ uint32) bool {
+				if int(u) < ds.NumNormalUsers {
+					organic++
+				}
+				return true
+			})
+		}
+	}
+	if organic == 0 {
+		t.Error("no organic clicks on any target item; challenge (4) not reproduced")
+	}
+}
+
+func TestAgencyLoyaltyNearConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loyal, total := 0, 0
+	for _, grp := range ds.Groups {
+		counts := map[int]int{}
+		for _, ag := range grp.Agency {
+			counts[ag]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		loyal += best
+		total += len(grp.Agency)
+	}
+	frac := float64(loyal) / float64(total)
+	if frac < cfg.Attack.AgencyLoyalty-0.15 {
+		t.Errorf("agency loyalty = %v, want near %v", frac, cfg.Attack.AgencyLoyalty)
+	}
+}
+
+func TestMustGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate did not panic on bad config")
+		}
+	}()
+	cfg := SmallConfig()
+	cfg.NumUsers = 0
+	MustGenerate(cfg)
+}

@@ -1,0 +1,66 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLabelsRoundTrip(t *testing.T) {
+	ds := MustGenerate(SmallConfig())
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	labels, groups, err := ReadLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels.Users) != len(ds.Truth.Users) || len(labels.Items) != len(ds.Truth.Items) {
+		t.Fatalf("label counts = %d/%d, want %d/%d",
+			len(labels.Users), len(labels.Items), len(ds.Truth.Users), len(ds.Truth.Items))
+	}
+	for u := range ds.Truth.Users {
+		if !labels.Users[u] {
+			t.Errorf("user %d lost in round trip", u)
+		}
+	}
+	if len(groups) != len(ds.Groups) {
+		t.Fatalf("got %d groups, want %d", len(groups), len(ds.Groups))
+	}
+	for gi, grp := range groups {
+		if len(grp.Users) != len(ds.Groups[gi].Attackers) {
+			t.Errorf("group %d: %d users, want %d", gi, len(grp.Users), len(ds.Groups[gi].Attackers))
+		}
+		if len(grp.Items) != len(ds.Groups[gi].Targets) {
+			t.Errorf("group %d: %d items, want %d", gi, len(grp.Items), len(ds.Groups[gi].Targets))
+		}
+	}
+}
+
+func TestReadLabelsRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"a,b,c\n",                         // bad header
+		"kind,id,group\nuser,x,0\n",       // bad id
+		"kind,id,group\nuser,1,x\n",       // bad group
+		"kind,id,group\nuser,1,-1\n",      // negative group
+		"kind,id,group\nwidget,1,0\n",     // bad kind
+		"kind,id,group\nuser,1\n",         // short row
+		"kind,id,group\nuser,1,0,extra\n", // long row
+	}
+	for _, c := range cases {
+		if _, _, err := ReadLabels(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestReadLabelsEmptyBody(t *testing.T) {
+	labels, groups, err := ReadLabels(strings.NewReader("kind,id,group\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels.NumAbnormal() != 0 || len(groups) != 0 {
+		t.Errorf("empty labels = %d abnormal, %d groups", labels.NumAbnormal(), len(groups))
+	}
+}

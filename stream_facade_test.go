@@ -1,0 +1,101 @@
+package fakeclick
+
+import (
+	"testing"
+
+	"repro/internal/clicktable"
+)
+
+func TestStreamDetectorCatchesStreamedAttack(t *testing.T) {
+	g, ds := syntheticGraph(t)
+
+	// Warm-start from the background traffic only.
+	background := NewGraph()
+	var attack []clicktable.Record
+	ds.Table.Each(func(r clicktable.Record) bool {
+		if int(r.UserID) >= ds.NumNormalUsers {
+			attack = append(attack, r)
+		} else {
+			background.AddClicks(r.UserID, r.ItemID, r.Clicks)
+		}
+		return true
+	})
+
+	sd, err := NewStreamDetector(background, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sd.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 0 {
+		t.Fatalf("clean traffic produced %d groups", len(rep.Groups))
+	}
+
+	for _, r := range attack {
+		sd.AddClicks(r.UserID, r.ItemID, r.Clicks)
+	}
+	rep, err = sd.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) == 0 {
+		t.Fatal("streamed attack not detected")
+	}
+	tp := 0
+	for _, u := range rep.Users {
+		if ds.Truth.Users[u] {
+			tp++
+		}
+	}
+	if prec := float64(tp) / float64(len(rep.Users)); prec < 0.9 {
+		t.Errorf("stream precision = %v, want ≥ 0.9", prec)
+	}
+	if len(rep.RankedUsers) == 0 {
+		t.Error("no ranked users in stream report")
+	}
+	_ = g // the unsplit graph is only used to derive the dataset
+}
+
+func TestStreamDetectorFullSweepAgrees(t *testing.T) {
+	g, _ := syntheticGraph(t)
+	sd, err := NewStreamDetector(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sd.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sd.FullSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Groups) != len(full.Groups) {
+		t.Errorf("first sweep %d groups, full sweep %d", len(inc.Groups), len(full.Groups))
+	}
+}
+
+func TestStreamDetectorEmptyStart(t *testing.T) {
+	cfg := smallConfig()
+	sd, err := NewStreamDetector(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sd.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 0 {
+		t.Errorf("empty stream produced groups")
+	}
+}
+
+func TestStreamDetectorValidatesConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Alpha = 7
+	if _, err := NewStreamDetector(nil, cfg); err == nil {
+		t.Error("expected config error")
+	}
+}
