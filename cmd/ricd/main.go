@@ -8,12 +8,18 @@
 //	     [-thot 0] [-tclick 0]         # 0 derives thresholds from the data
 //	     [-top 20] [-expect 0]         # expect triggers the feedback loop
 //	     [-seed-user id]... via comma list
+//	     [-trace out.json]             # write the stage trace as JSON
+//	     [-trace-tree]                 # print the stage tree after the run
+//	     [-debug-addr :6060]           # serve /debug/pprof and /debug/vars
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -22,7 +28,9 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/clicktable"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -47,6 +55,9 @@ func main() {
 		explain   = flag.Int("explain", 0, "print the evidence trail for the N most suspicious groups")
 		algo      = flag.String("algo", "", "run a registry detector instead of RICD (see -list-algos); +UI screening applied")
 		listAlgos = flag.Bool("list-algos", false, "list available detectors and exit")
+		tracePath = flag.String("trace", "", "write the run's stage trace to this file as JSON")
+		traceTree = flag.Bool("trace-tree", false, "print the human-readable stage tree after the run")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	if *listAlgos {
@@ -59,21 +70,19 @@ func main() {
 		flag.Usage()
 		log.Fatal("missing -in")
 	}
+
+	observer := startObservability(*tracePath, *traceTree, *debugAddr)
+
 	if *algo != "" && !strings.EqualFold(*algo, "ricd") {
 		runAlgo(*algo, *in, *labels, *k1, *k2, *alpha, *thot, uint32(*tclick))
+		finishObservability(observer, *tracePath, *traceTree)
 		return
 	}
 
-	f, err := os.Open(*in)
+	g, err := loadGraph(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := fakeclick.NewGraph()
-	if err := g.LoadCSV(f); err != nil {
-		f.Close()
-		log.Fatal(err)
-	}
-	f.Close()
 	fmt.Printf("loaded %s: %d users, %d items, %d edges, %d clicks\n",
 		*in, g.NumUsers(), g.NumItems(), g.NumEdges(), g.TotalClicks())
 
@@ -84,6 +93,7 @@ func main() {
 		THot:          *thot,
 		TClick:        uint32(*tclick),
 		SkipScreening: *raw,
+		Observer:      observer,
 	}
 	var parseErr error
 	cfg.SeedUsers, parseErr = parseIDs(*seedUsers)
@@ -137,12 +147,7 @@ func main() {
 	}
 
 	if *labels != "" {
-		lf, err := os.Open(*labels)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth, _, err := synth.ReadLabels(lf)
-		lf.Close()
+		truth, err := loadLabels(*labels)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -150,18 +155,93 @@ func main() {
 		fmt.Printf("against %s (%d labeled abnormal nodes): %v\n",
 			*labels, truth.NumAbnormal(), ev)
 	}
+
+	finishObservability(observer, *tracePath, *traceTree)
+}
+
+// startObservability builds the run's observer when any observability flag
+// is set, and starts the pprof/expvar debug server. The returned observer
+// is nil (free no-op) when all flags are off.
+func startObservability(tracePath string, traceTree bool, debugAddr string) *obs.Observer {
+	if tracePath == "" && !traceTree && debugAddr == "" {
+		return nil
+	}
+	o := obs.NewObserver("ricd")
+	if debugAddr != "" {
+		// Importing net/http/pprof and expvar registers /debug/pprof/ and
+		// /debug/vars on the default mux; the metrics snapshot joins them.
+		expvar.Publish("ricd_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		go func() {
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars)\n", debugAddr)
+	}
+	return o
+}
+
+// finishObservability ends the trace and emits it as requested.
+func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
+	if o == nil {
+		return
+	}
+	o.Trace.Finish()
+	if tracePath != "" {
+		data, err := o.Trace.JSON()
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		fmt.Printf("stage trace written to %s\n", tracePath)
+	}
+	if traceTree {
+		fmt.Print(o.Trace.Tree())
+	}
+}
+
+// loadGraph reads a click-table CSV into a facade graph.
+func loadGraph(path string) (*fakeclick.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g := fakeclick.NewGraph()
+	if err := g.LoadCSV(f); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// loadTable reads a click-table CSV for the registry detectors.
+func loadTable(path string) (*clicktable.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return clicktable.ReadCSV(f)
+}
+
+// loadLabels reads a ground-truth label CSV.
+func loadLabels(path string) (*detect.Labels, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	truth, _, err := synth.ReadLabels(f)
+	return truth, err
 }
 
 // runAlgo runs a registry detector (Fig 8 style: +UI screening unless the
 // algorithm embeds its own) on the click table and prints its groups plus
 // optional evaluation.
 func runAlgo(name, in, labelsPath string, k1, k2 int, alpha float64, thot uint64, tclick uint32) {
-	f, err := os.Open(in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tbl, err := clicktable.ReadCSV(f)
-	f.Close()
+	tbl, err := loadTable(in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -192,12 +272,7 @@ func runAlgo(name, in, labelsPath string, k1, k2 int, alpha float64, thot uint64
 		fmt.Printf("  group %d: %d users, %d items\n", i+1, len(grp.Users), len(grp.Items))
 	}
 	if labelsPath != "" {
-		lf, err := os.Open(labelsPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth, _, err := synth.ReadLabels(lf)
-		lf.Close()
+		truth, err := loadLabels(labelsPath)
 		if err != nil {
 			log.Fatal(err)
 		}

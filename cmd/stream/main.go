@@ -7,18 +7,23 @@
 //
 //	synthgen -out clicks.csv -labels labels.csv -events events.csv
 //	stream -events events.csv [-thot 1000] [-tclick 12] [-labels labels.csv]
+//	       [-trace out.json] [-trace-tree] [-debug-addr :6060]
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/synth"
 )
@@ -35,6 +40,9 @@ func main() {
 		thot       = flag.Uint64("thot", 1000, "hot-item threshold")
 		tclick     = flag.Uint("tclick", 12, "abnormal-click threshold")
 		labelsPath = flag.String("labels", "", "optional ground-truth label CSV for per-day evaluation")
+		tracePath  = flag.String("trace", "", "write the replay's stage trace to this file as JSON")
+		traceTree  = flag.Bool("trace-tree", false, "print the human-readable stage tree after the replay")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	if *eventsPath == "" {
@@ -42,12 +50,7 @@ func main() {
 		log.Fatal("missing -events")
 	}
 
-	f, err := os.Open(*eventsPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	events, err := synth.ReadEvents(f)
-	f.Close()
+	events, err := loadEvents(*eventsPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,12 +61,7 @@ func main() {
 
 	var truth *detect.Labels
 	if *labelsPath != "" {
-		lf, err := os.Open(*labelsPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth, _, err = synth.ReadLabels(lf)
-		lf.Close()
+		truth, err = loadLabels(*labelsPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,6 +77,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	observer := startObservability(*tracePath, *traceTree, *debugAddr)
+	det.Obs = observer
 
 	day := events[0].Day
 	flush := func(day int) {
@@ -103,4 +103,70 @@ func main() {
 		det.AddClick(e.UserID, e.ItemID, e.Clicks)
 	}
 	flush(day)
+
+	finishObservability(observer, *tracePath, *traceTree)
+}
+
+// startObservability builds the replay's observer when any observability
+// flag is set, and starts the pprof/expvar debug server. Returns nil (free
+// no-op) when all flags are off.
+func startObservability(tracePath string, traceTree bool, debugAddr string) *obs.Observer {
+	if tracePath == "" && !traceTree && debugAddr == "" {
+		return nil
+	}
+	o := obs.NewObserver("stream")
+	if debugAddr != "" {
+		// Importing net/http/pprof and expvar registers /debug/pprof/ and
+		// /debug/vars on the default mux; the metrics snapshot joins them.
+		expvar.Publish("stream_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		go func() {
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars)\n", debugAddr)
+	}
+	return o
+}
+
+// finishObservability ends the trace and emits it as requested.
+func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
+	if o == nil {
+		return
+	}
+	o.Trace.Finish()
+	if tracePath != "" {
+		data, err := o.Trace.JSON()
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		fmt.Printf("stage trace written to %s\n", tracePath)
+	}
+	if traceTree {
+		fmt.Print(o.Trace.Tree())
+	}
+}
+
+// loadEvents reads a day-stamped event-stream CSV.
+func loadEvents(path string) ([]synth.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return synth.ReadEvents(f)
+}
+
+// loadLabels reads a ground-truth label CSV.
+func loadLabels(path string) (*detect.Labels, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	truth, _, err := synth.ReadLabels(f)
+	return truth, err
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/i2i"
+	"repro/internal/obs"
 )
 
 // Graph is a user-item click graph under construction or ready for
@@ -114,7 +115,18 @@ type Config struct {
 	// Workers bounds the parallelism of the pruning stages; 0 uses
 	// GOMAXPROCS.
 	Workers int
+	// Observer, when non-nil, receives the run's stage trace (per-phase
+	// spans mirroring the paper's Fig 8b split) and pipeline metrics; the
+	// trace is echoed on Report.Trace. Construct one with
+	// NewObserver("ricd") and export via its Trace/Metrics fields. A nil
+	// Observer disables all instrumentation at no cost.
+	Observer *obs.Observer
 }
+
+// NewObserver returns an observability hook for Config.Observer: a stage
+// trace rooted at rootName plus a metrics registry. Re-exported from the
+// internal obs package so applications can construct one.
+func NewObserver(rootName string) *obs.Observer { return obs.NewObserver(rootName) }
 
 // DefaultConfig returns the paper's experiment defaults with data-derived
 // thresholds.
@@ -165,6 +177,10 @@ type Report struct {
 	// when the config left them zero).
 	THot   uint64
 	TClick uint32
+	// Trace is the stage trace of this run; nil unless Config.Observer
+	// was set. Render it with Trace.Tree() or serialize with
+	// Trace.JSON().
+	Trace *obs.Trace
 }
 
 // Summary renders a one-paragraph human-readable digest of the report.
@@ -208,7 +224,7 @@ func Detect(g *Graph, cfg Config) (*Report, error) {
 	d := &core.Detector{Params: params, Seeds: detect.Seeds{
 		Users: cfg.SeedUsers,
 		Items: cfg.SeedItems,
-	}}
+	}, Obs: cfg.Observer}
 	if cfg.SkipScreening {
 		d.Variant = core.VariantUI
 	}
@@ -216,7 +232,7 @@ func Detect(g *Graph, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
-	return buildReport(bg, res, params), nil
+	return buildReport(bg, res, params, cfg.Observer), nil
 }
 
 // DetectWithExpectation runs Detect and, if the output is smaller than
@@ -229,11 +245,11 @@ func DetectWithExpectation(g *Graph, cfg Config, expectedNodes, maxRounds int) (
 	if err != nil {
 		return nil, err
 	}
-	fr, err := core.DetectWithFeedback(bg, params, expectedNodes, maxRounds)
+	fr, err := core.DetectWithFeedbackObserved(bg, params, expectedNodes, maxRounds, cfg.Observer)
 	if err != nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
-	return buildReport(bg, fr.Result, fr.Params), nil
+	return buildReport(bg, fr.Result, fr.Params, cfg.Observer), nil
 }
 
 func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
@@ -246,6 +262,7 @@ func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
 		params.TClick = cfg.TClick
 	}
 	if cfg.THot == 0 || cfg.TClick == 0 {
+		sp := cfg.Observer.Root().Start("derive_thresholds")
 		th := core.DeriveThresholds(bg)
 		if cfg.THot == 0 {
 			params.THot = th.THot
@@ -253,6 +270,9 @@ func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
 		if cfg.TClick == 0 {
 			params.TClick = th.TClick
 		}
+		sp.SetInt("t_hot", int64(params.THot))
+		sp.SetInt("t_click", int64(params.TClick))
+		sp.End()
 	}
 	if err := params.Validate(); err != nil {
 		return params, fmt.Errorf("fakeclick: %w", err)
@@ -260,13 +280,18 @@ func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
 	return params, nil
 }
 
-func buildReport(bg *bipartite.Graph, res *detect.Result, params core.Params) *Report {
+func buildReport(bg *bipartite.Graph, res *detect.Result, params core.Params, o *obs.Observer) *Report {
+	sp := o.Root().Start("report")
+	defer sp.End()
 	rep := &Report{
 		Elapsed: res.Elapsed,
 		THot:    params.THot,
 		TClick:  params.TClick,
 		Users:   res.Users(),
 		Items:   res.Items(),
+	}
+	if o != nil {
+		rep.Trace = o.Trace
 	}
 	for _, grp := range res.Groups {
 		st := core.ComputeGroupStats(bg, grp)

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/obs"
 )
 
 // This file implements Algorithm 2, the Suspicious Group Detection module:
@@ -125,6 +126,31 @@ func GraphGeneratorBounded(g *bipartite.Graph, seeds detect.Seeds, itemDegreeCap
 // NearBicliqueExtract runs Algorithm 3 on work (mutating it) and returns the
 // surviving candidate groups.
 func NearBicliqueExtract(work *bipartite.Graph, p Params) []detect.Group {
-	Prune(work, p)
-	return ExtractGroups(work, p)
+	return NearBicliqueExtractObserved(work, p, nil, nil)
+}
+
+// NearBicliqueExtractObserved is NearBicliqueExtract with observability:
+// pruning rounds and the component split become child spans of sp, and
+// removal/group counts feed o's registry under core.prune.* and
+// core.extract.*. Nil sp/o observe nothing.
+func NearBicliqueExtractObserved(work *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer) []detect.Group {
+	psp := sp.Start("prune")
+	st := PruneTraced(work, p, psp)
+	psp.SetInt("rounds", int64(st.Rounds))
+	psp.SetInt("users_removed", int64(st.UsersRemoved))
+	psp.SetInt("items_removed", int64(st.ItemsRemoved))
+	psp.End()
+	o.Counter("core.prune.rounds").Add(int64(st.Rounds))
+	o.Counter("core.prune.users_removed").Add(int64(st.UsersRemoved))
+	o.Counter("core.prune.items_removed").Add(int64(st.ItemsRemoved))
+	o.Histogram("core.prune").Observe(psp.Duration())
+
+	esp := sp.Start("extract")
+	groups := ExtractGroups(work, p)
+	esp.SetInt("groups", int64(len(groups)))
+	esp.SetInt("survivor_users", int64(work.LiveUsers()))
+	esp.SetInt("survivor_items", int64(work.LiveItems()))
+	esp.End()
+	o.Counter("core.extract.groups").Add(int64(len(groups)))
+	return groups
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/obs"
 )
 
 // This file implements the Suspicious Group Identification module: the
@@ -119,12 +120,25 @@ type FeedbackResult struct {
 // interpretable knob — then α, then the size bounds k₁/k₂) and retries, up
 // to maxIters runs. Relaxation increases recall at the cost of precision.
 func DetectWithFeedback(g *bipartite.Graph, p Params, expectation, maxIters int) (FeedbackResult, error) {
+	return DetectWithFeedbackObserved(g, p, expectation, maxIters, nil)
+}
+
+// DetectWithFeedbackObserved is DetectWithFeedback with observability:
+// every inner detection run records its own ricd.detect span under o's
+// trace root, and the loop's iteration count feeds the registry. A nil o
+// observes nothing.
+func DetectWithFeedbackObserved(g *bipartite.Graph, p Params, expectation, maxIters int,
+	o *obs.Observer) (FeedbackResult, error) {
+
 	if maxIters < 1 {
 		maxIters = 1
 	}
 	fr := FeedbackResult{Params: p}
+	defer func() {
+		o.Counter("ricd.feedback.iterations").Add(int64(fr.Iterations))
+	}()
 	for i := 0; i < maxIters; i++ {
-		d := &Detector{Params: fr.Params}
+		d := &Detector{Params: fr.Params, Obs: o}
 		res, err := d.Detect(g)
 		if err != nil {
 			return fr, err

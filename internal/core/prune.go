@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/obs"
 )
 
 // This file implements Algorithm 3: the (α,k₁,k₂)-extension biclique
@@ -33,16 +34,24 @@ type PruneStats struct {
 // has live degree ≥ ⌈α·k₂⌉ and at least k₁ (α,k₂)-neighbors, and every
 // surviving item has live degree ≥ ⌈α·k₁⌉ and at least k₂ (α,k₁)-neighbors.
 func Prune(g *bipartite.Graph, p Params) PruneStats {
-	if p.SinglePass {
-		return pruneSinglePass(g, p)
-	}
-	return pruneFixpoint(g, p)
+	return PruneTraced(g, p, nil)
 }
 
-func pruneFixpoint(g *bipartite.Graph, p Params) PruneStats {
+// PruneTraced is Prune with stage tracing: every fixpoint round (or literal
+// pass) becomes a child span of sp carrying its removal counts. A nil sp
+// traces nothing at no cost.
+func PruneTraced(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
+	if p.SinglePass {
+		return pruneSinglePass(g, p, sp)
+	}
+	return pruneFixpoint(g, p, sp)
+}
+
+func pruneFixpoint(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
 	var st PruneStats
 	for {
 		st.Rounds++
+		rsp := sp.Start("round")
 		removed := corePruneFixpoint(g, p)
 		uVictims := squareRoundUsers(g, p)
 		for _, u := range uVictims {
@@ -54,15 +63,26 @@ func pruneFixpoint(g *bipartite.Graph, p Params) PruneStats {
 		}
 		st.UsersRemoved += removed.UsersRemoved + len(uVictims)
 		st.ItemsRemoved += removed.ItemsRemoved + len(iVictims)
+		rsp.SetInt("core_users_removed", int64(removed.UsersRemoved))
+		rsp.SetInt("core_items_removed", int64(removed.ItemsRemoved))
+		rsp.SetInt("square_users_removed", int64(len(uVictims)))
+		rsp.SetInt("square_items_removed", int64(len(iVictims)))
+		rsp.End()
 		if len(uVictims) == 0 && len(iVictims) == 0 {
 			return st
 		}
 	}
 }
 
-func pruneSinglePass(g *bipartite.Graph, p Params) PruneStats {
+func pruneSinglePass(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
 	var st PruneStats
 	st.Rounds = 1
+	pass := sp.Start("single_pass")
+	defer func() {
+		pass.SetInt("users_removed", int64(st.UsersRemoved))
+		pass.SetInt("items_removed", int64(st.ItemsRemoved))
+		pass.End()
+	}()
 	minUDeg := ceilMul(p.K2, p.Alpha)
 	minIDeg := ceilMul(p.K1, p.Alpha)
 

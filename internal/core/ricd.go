@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/obs"
 )
 
 // Variant selects how much of the RICD pipeline runs; the reduced variants
@@ -43,6 +44,10 @@ type Detector struct {
 	// Seeds optionally restricts group detection to the neighborhoods of
 	// known abnormal nodes (Algorithm 2's auxiliary input).
 	Seeds detect.Seeds
+	// Obs, when non-nil, receives a stage trace (one ricd.detect span per
+	// run, with the paper's Fig 8b detection/screening/identification
+	// phase split as children) and pipeline metrics. Nil costs nothing.
+	Obs *obs.Observer
 }
 
 // Name implements detect.Detector.
@@ -55,32 +60,60 @@ func (d *Detector) Detect(g *bipartite.Graph) (*detect.Result, error) {
 		return nil, err
 	}
 	p := d.Params
+	o := d.Obs
+	run := o.Root().Start("ricd.detect")
+	run.Set("variant", d.Variant.String())
 	start := time.Now()
 
 	// Module 1: suspicious group detection. Hotness is classified on the
 	// full input graph before pruning.
+	dsp := run.Start("detection")
+	hsp := dsp.Start("hotset")
 	hot := ComputeHotSet(g, p.THot)
+	hsp.SetInt("hot_items", int64(hot.Count()))
+	hsp.End()
+
+	gsp := dsp.Start("graph_generator")
 	work := GraphGenerator(g, d.Seeds)
-	groups := NearBicliqueExtract(work, p)
+	gsp.SetInt("live_users", int64(work.LiveUsers()))
+	gsp.SetInt("live_items", int64(work.LiveItems()))
+	gsp.SetInt("live_edges", int64(work.LiveEdges()))
+	gsp.End()
+
+	groups := NearBicliqueExtractObserved(work, p, dsp, o)
+	dsp.End()
 	detectDone := time.Now()
 
 	// Module 2: suspicious group screening (variant-dependent).
+	ssp := run.Start("screening")
+	ssp.Set("mode", d.Variant.String())
 	switch d.Variant {
 	case VariantUI:
 		// No screening at all.
 	case VariantI:
 		groups = screenUsersOnly(g, groups, hot, p)
 	default:
-		groups = ScreenGroups(g, groups, hot, p)
+		groups = ScreenGroupsObserved(g, groups, hot, p, ssp, o)
 	}
+	ssp.SetInt("groups_out", int64(len(groups)))
+	ssp.End()
 
 	// Module 3: identification — score groups so the most suspicious come
 	// first; per-node rankings are available via RankResult.
+	isp := run.Start("identification")
 	res := &detect.Result{Groups: groups}
 	scoreGroups(g, res)
+	isp.End()
+
 	res.DetectElapsed = detectDone.Sub(start)
 	res.ScreenElapsed = time.Since(detectDone)
 	res.Elapsed = time.Since(start)
+	run.SetInt("groups", int64(len(groups)))
+	run.End()
+	o.Counter("ricd.detections").Inc()
+	o.Histogram("ricd.detect").Observe(res.Elapsed)
+	o.Histogram("ricd.detect.detection").Observe(res.DetectElapsed)
+	o.Histogram("ricd.detect.screening").Observe(res.ScreenElapsed)
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/obs"
 )
 
 // This file implements the Suspicious Group Screening module: the user
@@ -140,6 +141,23 @@ func medianU32(xs []uint32) uint32 {
 // of the induced verified subgraph and the Definition 3 size bounds are
 // re-applied (property (4b)).
 func ScreenGroups(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Params) []detect.Group {
+	return ScreenGroupsObserved(g, groups, hot, p, nil, nil)
+}
+
+// ScreenGroupsObserved is ScreenGroups with observability: the user-check
+// and item-verification passes become child spans of sp, and candidate
+// in/out counts feed o's registry under core.screen.*. Nil sp/o observe
+// nothing.
+func ScreenGroupsObserved(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Params,
+	sp *obs.Span, o *obs.Observer) []detect.Group {
+
+	var usersIn, itemsIn int
+	for _, grp := range groups {
+		usersIn += len(grp.Users)
+		itemsIn += len(grp.Items)
+	}
+
+	csp := sp.Start("behavior_checks")
 	var allUsers, allItems []bipartite.NodeID
 	for _, grp := range groups {
 		users := UserBehaviorCheck(g, grp, hot, p)
@@ -171,10 +189,19 @@ func ScreenGroups(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Para
 		}
 		allItems = append(allItems, items...)
 	}
+	csp.SetInt("users_in", int64(usersIn))
+	csp.SetInt("users_kept", int64(len(allUsers)))
+	csp.SetInt("items_in", int64(itemsIn))
+	csp.SetInt("items_kept", int64(len(allItems)))
+	csp.End()
+	o.Counter("core.screen.groups_in").Add(int64(len(groups)))
+	o.Counter("core.screen.users_dropped").Add(int64(usersIn - len(allUsers)))
+	o.Counter("core.screen.items_dropped").Add(int64(itemsIn - len(allItems)))
 	if len(allUsers) == 0 || len(allItems) == 0 {
 		return nil
 	}
 
+	rsp := sp.Start("repartition")
 	sub, err := bipartite.InducedSubgraph(g, allUsers, allItems)
 	if err != nil {
 		// IDs came from g itself; out-of-range is impossible.
@@ -186,5 +213,8 @@ func ScreenGroups(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Para
 			out = append(out, detect.Group{Users: comp.Users, Items: comp.Items})
 		}
 	}
+	rsp.SetInt("groups_out", int64(len(out)))
+	rsp.End()
+	o.Counter("core.screen.groups_out").Add(int64(len(out)))
 	return out
 }

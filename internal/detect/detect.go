@@ -7,6 +7,7 @@ package detect
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bipartite"
@@ -38,18 +39,40 @@ type Result struct {
 	// without that structure.
 	DetectElapsed time.Duration
 	ScreenElapsed time.Duration
+
+	// union memoizes the Users/Items dedup-union: reporting, metrics and
+	// tracing all call them repeatedly. Groups must be final before the
+	// first Users/Items call (every detector builds Groups fully before
+	// returning); the returned slices are shared and must not be mutated.
+	union struct {
+		once  sync.Once
+		users []bipartite.NodeID
+		items []bipartite.NodeID
+	}
 }
 
 // Users returns the deduplicated, sorted union of suspicious users across
-// all groups (U_sus in the paper's problem definition).
+// all groups (U_sus in the paper's problem definition). The union is
+// computed once and cached; callers must not mutate the returned slice or
+// append to r.Groups after the first call.
 func (r *Result) Users() []bipartite.NodeID {
-	return unionNodes(r.Groups, func(g Group) []bipartite.NodeID { return g.Users })
+	r.memoizeUnion()
+	return r.union.users
 }
 
 // Items returns the deduplicated, sorted union of suspicious items across
-// all groups (V_sus in the paper's problem definition).
+// all groups (V_sus in the paper's problem definition). Caching caveats as
+// for Users.
 func (r *Result) Items() []bipartite.NodeID {
-	return unionNodes(r.Groups, func(g Group) []bipartite.NodeID { return g.Items })
+	r.memoizeUnion()
+	return r.union.items
+}
+
+func (r *Result) memoizeUnion() {
+	r.union.once.Do(func() {
+		r.union.users = unionNodes(r.Groups, func(g Group) []bipartite.NodeID { return g.Users })
+		r.union.items = unionNodes(r.Groups, func(g Group) []bipartite.NodeID { return g.Items })
+	})
 }
 
 // NumNodes returns the total number of distinct suspicious nodes.

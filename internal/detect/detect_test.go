@@ -23,6 +23,53 @@ func TestResultUnions(t *testing.T) {
 	}
 }
 
+// TestResultUnionMemoized verifies the dedup-union is computed once: the
+// same backing slice comes back on every call, repeated reads stay stable,
+// and no caller needs to re-mutate Groups after the first read for the
+// cached view to be correct.
+func TestResultUnionMemoized(t *testing.T) {
+	res := &Result{Groups: []Group{
+		{Users: []bipartite.NodeID{3, 1}, Items: []bipartite.NodeID{7}},
+		{Users: []bipartite.NodeID{1, 2}, Items: []bipartite.NodeID{7, 5}},
+	}}
+	u1, u2 := res.Users(), res.Users()
+	i1, i2 := res.Items(), res.Items()
+	if &u1[0] != &u2[0] || &i1[0] != &i2[0] {
+		t.Error("repeated Users/Items calls recompute the union instead of memoizing")
+	}
+	// Mutating Groups after the first read is unsupported; the memoized
+	// view must stay the snapshot taken at first read, not pick up (or
+	// corrupt on) later appends.
+	res.Groups = append(res.Groups, Group{Users: []bipartite.NodeID{99}})
+	if got, want := res.Users(), []bipartite.NodeID{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("post-mutation Users = %v, want memoized %v", got, want)
+	}
+	if res.NumNodes() != 5 {
+		t.Errorf("NumNodes = %d, want memoized 5", res.NumNodes())
+	}
+}
+
+// TestResultUnionConcurrent reads the unions from many goroutines; run
+// with -race to verify the once-guarded memoization.
+func TestResultUnionConcurrent(t *testing.T) {
+	res := &Result{Groups: []Group{
+		{Users: []bipartite.NodeID{1, 2}, Items: []bipartite.NodeID{3}},
+	}}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			if len(res.Users()) != 2 || len(res.Items()) != 1 {
+				t.Error("concurrent union read wrong")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	close(done)
+}
+
 func TestResultEmpty(t *testing.T) {
 	res := &Result{}
 	if res.Users() != nil || res.Items() != nil || res.NumNodes() != 0 {

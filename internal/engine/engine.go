@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/bipartite"
+	"repro/internal/obs"
 )
 
 // VertexID identifies a vertex in the engine's unified ID space: users keep
@@ -72,6 +73,11 @@ type Engine struct {
 	mailboxes [][]float64
 
 	aggregators map[string]*aggregatorState
+
+	// Obs, when non-nil, records each Run as an engine.run span (one child
+	// span per superstep with active-vertex and message fan-out counts)
+	// and feeds engine.* metrics. Nil costs nothing.
+	Obs *obs.Observer
 }
 
 type worker struct {
@@ -136,23 +142,59 @@ func (e *Engine) Run(p Program, maxSupersteps int) int {
 	}
 	ender, _ := p.(SuperstepEnder)
 
+	rsp := e.Obs.Root().Start("engine.run")
+	rsp.SetInt("vertices", int64(e.numVertices))
+	rsp.SetInt("workers", int64(e.numWorkers))
+	var totalMsgs int64
+
 	step := 0
 	for ; step < maxSupersteps; step++ {
-		more := e.superstep(p, step)
+		ssp := rsp.Start("superstep")
+		if e.Obs != nil {
+			ssp.SetInt("step", int64(step))
+			ssp.SetInt("active", int64(e.activeCount()))
+		}
+		more, delivered := e.superstep(p, step)
 		e.mergeAggregators()
 		if ender != nil {
 			ender.EndSuperstep(step)
+		}
+		ssp.SetInt("messages_routed", int64(delivered))
+		ssp.End()
+		totalMsgs += int64(delivered)
+		e.Obs.Counter("engine.supersteps").Inc()
+		e.Obs.Counter("engine.messages_routed").Add(int64(delivered))
+		if e.Obs != nil {
+			e.Obs.Gauge("engine.active_vertices").Set(int64(e.activeCount()))
 		}
 		if !more {
 			step++
 			break
 		}
 	}
+	rsp.SetInt("supersteps", int64(step))
+	rsp.SetInt("messages_total", totalMsgs)
+	rsp.End()
+	e.Obs.Counter("engine.runs").Inc()
+	e.Obs.Histogram("engine.run").Observe(rsp.Duration())
 	return step
 }
 
-// superstep runs one BSP round; it reports whether another round is needed.
-func (e *Engine) superstep(p Program, step int) bool {
+// activeCount is an observability helper: the number of currently active
+// vertices. Only called when an observer is attached.
+func (e *Engine) activeCount() int {
+	n := 0
+	for _, a := range e.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// superstep runs one BSP round; it reports whether another round is needed
+// and how many messages were routed at the barrier.
+func (e *Engine) superstep(p Program, step int) (more bool, delivered int) {
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
 		wg.Add(1)
@@ -175,27 +217,26 @@ func (e *Engine) superstep(p Program, step int) bool {
 	for v := range e.mailboxes {
 		e.mailboxes[v] = nil
 	}
-	delivered := false
 	for _, src := range e.workers {
 		for _, msgs := range src.outbox {
 			for _, m := range msgs {
 				e.mailboxes[m.To] = append(e.mailboxes[m.To], m.Value)
-				delivered = true
+				delivered++
 			}
 		}
 		for i := range src.outbox {
 			src.outbox[i] = nil
 		}
 	}
-	if delivered {
-		return true
+	if delivered > 0 {
+		return true, delivered
 	}
 	for v := 0; v < e.numVertices; v++ {
 		if e.active[v] {
-			return true
+			return true, delivered
 		}
 	}
-	return false
+	return false, delivered
 }
 
 // GraphAdapter maps a bipartite graph into the engine's unified vertex ID

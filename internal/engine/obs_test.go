@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/obs"
+)
+
+// TestEngineObservability checks that a Run records supersteps, routed
+// messages and an engine.run span with per-superstep children.
+func TestEngineObservability(t *testing.T) {
+	b := bipartite.NewBuilder(0, 0)
+	for u := uint32(0); u < 4; u++ {
+		for v := uint32(0); v < 3; v++ {
+			b.Add(u, v, u+v+1)
+		}
+	}
+	a := NewGraphAdapter(b.Build())
+
+	o := obs.NewObserver("engine-test")
+	e, err := New(a.NumVertices(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Obs = o
+	steps := e.Run(NewDegreeProgram(a), 10)
+
+	if got := o.Counter("engine.supersteps").Value(); got != int64(steps) {
+		t.Errorf("engine.supersteps = %d, want %d", got, steps)
+	}
+	if got := o.Counter("engine.messages_routed").Value(); got != 2*4*3 {
+		// every edge sends its weight both ways in superstep 0
+		t.Errorf("engine.messages_routed = %d, want %d", got, 2*4*3)
+	}
+	if got := o.Counter("engine.runs").Value(); got != 1 {
+		t.Errorf("engine.runs = %d, want 1", got)
+	}
+
+	o.Trace.Finish()
+	run := o.Trace.Export().Find("engine.run")
+	if run == nil {
+		t.Fatal("no engine.run span recorded")
+	}
+	var supersteps int
+	for _, c := range run.Children {
+		if c.Name == "superstep" {
+			supersteps++
+		}
+	}
+	if supersteps != steps {
+		t.Errorf("trace has %d superstep spans, want %d", supersteps, steps)
+	}
+}
+
+// TestEngineNilObserver pins that an engine without an observer still runs
+// (the nil path is the default everywhere).
+func TestEngineNilObserver(t *testing.T) {
+	b := bipartite.NewBuilder(0, 0)
+	b.Add(0, 0, 1)
+	a := NewGraphAdapter(b.Build())
+	e, err := New(a.NumVertices(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDegreeProgram(a)
+	if steps := e.Run(p, 10); steps < 2 {
+		t.Errorf("degree program halted after %d supersteps", steps)
+	}
+	if p.Strength[0] != 1 {
+		t.Errorf("strength = %v", p.Strength[0])
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/obs"
 )
 
 // Detector is an incremental RICD detector. It is not safe for concurrent
@@ -36,6 +37,13 @@ type Detector struct {
 	// bases cannot co-form a near-biclique with a seed anyway — see
 	// core.GraphGeneratorBounded). Zero falls back to DefaultExpandCap.
 	ExpandDegreeCap int
+
+	// Obs, when non-nil, records every Detect as a stream.sweep span
+	// (sweep type, dirty-user scope, seed count, sweep-local graph size)
+	// and feeds stream.* metrics, including separate full/incremental
+	// sweep latency histograms for incremental-speedup ratios. Nil costs
+	// nothing.
+	Obs *obs.Observer
 
 	table *clicktable.Table
 	graph *bipartite.Graph // nil when table has pending rows
@@ -88,6 +96,8 @@ func (d *Detector) AddClick(user, item uint32, clicks uint32) {
 	d.dirty[user] = struct{}{}
 	d.graph = nil
 	d.events++
+	d.Obs.Counter("stream.events").Inc()
+	d.Obs.Gauge("stream.dirty_users").Set(int64(len(d.dirty)))
 }
 
 // AddBatch streams a batch of click records.
@@ -116,46 +126,73 @@ func (d *Detector) Graph() *bipartite.Graph {
 // first call (or a call after Reset) is a full detection.
 func (d *Detector) Detect() (*detect.Result, error) {
 	start := time.Now()
+	full := !d.lastFull
+	sp := d.Obs.Root().Start("stream.sweep")
+	sweepType := "incremental"
+	if full {
+		sweepType = "full"
+	}
+	sp.Set("type", sweepType)
+	sp.SetInt("dirty_users", int64(len(d.dirty)))
+
+	bsp := sp.Start("graph_rebuild")
 	g := d.Graph()
+	bsp.End()
+	hsp := sp.Start("hotset")
 	hot := core.ComputeHotSet(g, d.params.THot)
+	hsp.End()
 
 	var seeds detect.Seeds
-	full := !d.lastFull
 	if !full {
 		// Seed only dirty users showing the crowd-worker signature: an
 		// edge of weight ≥ T_click to a non-hot item. Every member of a
 		// screenable group satisfies this (the user behavior check
 		// requires it), so filtering cannot lose a detectable group, and
 		// it keeps ordinary background churn from widening the sweep.
+		fsp := sp.Start("seed_filter")
 		for u := range d.dirty {
 			if d.suspiciousUser(g, hot, u) {
 				seeds.Users = append(seeds.Users, u)
 			}
 		}
+		fsp.SetInt("seeds", int64(len(seeds.Users)))
+		fsp.End()
 	}
 
 	var fresh []detect.Group
 	if full {
 		work := core.GraphGenerator(g, detect.Seeds{})
-		fresh = core.NearBicliqueExtract(work, d.params)
+		fresh = core.NearBicliqueExtractObserved(work, d.params, sp, d.Obs)
 	} else if len(seeds.Users) > 0 {
 		cap := d.ExpandDegreeCap
 		if cap <= 0 {
 			cap = DefaultExpandCap
 		}
+		gsp := sp.Start("dirty_expand")
 		work := core.GraphGeneratorBounded(g, seeds, cap)
-		fresh = core.NearBicliqueExtract(work, d.params)
+		gsp.SetInt("scope_users", int64(work.LiveUsers()))
+		gsp.SetInt("scope_items", int64(work.LiveItems()))
+		gsp.End()
+		d.Obs.Gauge("stream.sweep.scope_users").Set(int64(work.LiveUsers()))
+		fresh = core.NearBicliqueExtractObserved(work, d.params, sp, d.Obs)
 	}
 
 	// Merge candidates: freshly extracted groups around the dirty region
 	// plus the cached groups (monotonicity keeps their extraction validity;
 	// screening below re-judges them against current weights and hotness).
 	candidates := append(append([]detect.Group(nil), fresh...), d.cached...)
-	groups := core.ScreenGroups(g, candidates, hot, d.params)
+	ssp := sp.Start("screening")
+	groups := core.ScreenGroupsObserved(g, candidates, hot, d.params, ssp, d.Obs)
+	ssp.End()
 
 	res := &detect.Result{Groups: groups}
 	res.Elapsed = time.Since(start)
 	res.DetectElapsed = res.Elapsed
+	sp.SetInt("groups", int64(len(groups)))
+	sp.End()
+	d.Obs.Counter("stream.sweeps." + sweepType).Inc()
+	d.Obs.Histogram("stream.sweep." + sweepType).Observe(res.Elapsed)
+	d.Obs.Gauge("stream.dirty_users").Set(0)
 
 	d.cached = groups
 	d.dirty = map[bipartite.NodeID]struct{}{}
@@ -182,7 +219,7 @@ func (d *Detector) suspiciousUser(g *bipartite.Graph, hot *core.HotSet, u bipart
 // on the current graph — the reference the incremental result is validated
 // against in tests and benchmarks.
 func (d *Detector) FullDetect() (*detect.Result, error) {
-	det := &core.Detector{Params: d.params}
+	det := &core.Detector{Params: d.params, Obs: d.Obs}
 	return det.Detect(d.Graph())
 }
 

@@ -1,0 +1,128 @@
+package fakeclick
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDetectWithObserver verifies the facade's observability wiring: the
+// run produces a trace whose ricd.detect span carries the Fig 8b phase
+// split, the phase spans cover ≥ 90% of the reported Elapsed, the trace
+// JSON round-trips, and the registry saw the run.
+func TestDetectWithObserver(t *testing.T) {
+	g, _ := syntheticGraph(t)
+	cfg := smallConfig()
+	o := NewObserver("ricd")
+	cfg.Observer = o
+
+	rep, err := Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil {
+		t.Fatal("Report.Trace is nil with an Observer configured")
+	}
+	o.Trace.Finish()
+
+	e := rep.Trace.Export()
+	det := e.Find("ricd.detect")
+	if det == nil {
+		t.Fatalf("trace has no ricd.detect span; spans: %v", e.SpanNames())
+	}
+	for _, phase := range []string{"detection", "screening", "identification", "hotset", "graph_generator", "prune", "extract"} {
+		if det.Find(phase) == nil {
+			t.Errorf("trace missing %q span; spans: %v", phase, e.SpanNames())
+		}
+	}
+
+	// Acceptance: phase spans cover ≥ 90% of the measured detection time.
+	covered := det.CoveredDuration()
+	if covered < time.Duration(0.9*float64(rep.Elapsed)) {
+		t.Errorf("phase spans cover %v of Elapsed %v (< 90%%)", covered, rep.Elapsed)
+	}
+
+	data, err := rep.Trace.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ParseTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Find("ricd.detect") == nil {
+		t.Error("serialized trace lost the ricd.detect span")
+	}
+
+	if got := o.Counter("ricd.detections").Value(); got != 1 {
+		t.Errorf("ricd.detections = %d, want 1", got)
+	}
+	if o.Histogram("ricd.detect").Count() != 1 {
+		t.Error("ricd.detect histogram empty")
+	}
+	if len(o.Metrics.Snapshot()) == 0 {
+		t.Error("metrics snapshot empty")
+	}
+}
+
+// TestDetectObserverDisabled pins the no-op default: no observer, no
+// trace, identical results.
+func TestDetectObserverDisabled(t *testing.T) {
+	g, _ := syntheticGraph(t)
+	rep, err := Detect(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace != nil {
+		t.Error("Report.Trace should be nil without an Observer")
+	}
+}
+
+// TestStreamObserver verifies sweep-type accounting on the incremental
+// path: first sweep is full, later sweeps are incremental, and both are
+// recorded distinctly.
+func TestStreamObserver(t *testing.T) {
+	g, ds := syntheticGraph(t)
+	cfg := smallConfig()
+	o := NewObserver("stream")
+	cfg.Observer = o
+
+	det, err := NewStreamDetector(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	det.AddClicks(uint32(ds.NumNormalUsers-1), uint32(ds.NumNormalItems-1), 1)
+	rep, err := det.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil {
+		t.Fatal("stream Report.Trace is nil with an Observer configured")
+	}
+
+	if got := o.Counter("stream.sweeps.full").Value(); got != 1 {
+		t.Errorf("stream.sweeps.full = %d, want 1", got)
+	}
+	if got := o.Counter("stream.sweeps.incremental").Value(); got != 1 {
+		t.Errorf("stream.sweeps.incremental = %d, want 1", got)
+	}
+	if got := o.Counter("stream.events").Value(); got != 1 {
+		t.Errorf("stream.events = %d, want 1", got)
+	}
+
+	o.Trace.Finish()
+	e := o.Trace.Export()
+	var sweeps int
+	for _, c := range e.Children {
+		if c.Name == "stream.sweep" {
+			sweeps++
+		}
+	}
+	if sweeps != 2 {
+		t.Errorf("trace has %d stream.sweep spans, want 2", sweeps)
+	}
+}

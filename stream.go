@@ -7,6 +7,7 @@ import (
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -19,6 +20,7 @@ import (
 // Not safe for concurrent use.
 type StreamDetector struct {
 	inner *stream.Detector
+	obs   *obs.Observer
 }
 
 // NewStreamDetector creates a streaming detector, optionally warm-started
@@ -42,7 +44,8 @@ func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
-	return &StreamDetector{inner: inner}, nil
+	inner.Obs = cfg.Observer
+	return &StreamDetector{inner: inner, obs: cfg.Observer}, nil
 }
 
 // AddClicks streams one aggregated click event.
@@ -96,6 +99,9 @@ func (s *StreamDetector) report(res *detect.Result) *Report {
 	}
 	for _, n := range ranking.Items {
 		rep.RankedItems = append(rep.RankedItems, RankedNode{ID: n.ID, Score: n.Score})
+	}
+	if s.obs != nil {
+		rep.Trace = s.obs.Trace
 	}
 	return rep
 }
