@@ -8,12 +8,19 @@
 //	     [-thot 0] [-tclick 0]         # 0 derives thresholds from the data
 //	     [-top 20] [-expect 0]         # expect triggers the feedback loop
 //	     [-seed-user id]... via comma list
+//	     [-timeout 30s]                # wall-clock budget for the run
 //	     [-trace out.json]             # write the stage trace as JSON
 //	     [-trace-tree]                 # print the stage tree after the run
 //	     [-debug-addr :6060]           # serve /debug/pprof and /debug/vars
+//
+// SIGINT/SIGTERM (and -timeout expiry) cancel the in-flight detection
+// cooperatively: the partial results computed so far are still printed,
+// and the process exits with status 2 so scripts can tell a cut-short run
+// from a complete one (status 0) or a hard failure (status 1).
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -21,8 +28,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	fakeclick "repro"
 	"repro/internal/baselines"
@@ -37,7 +47,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ricd: ")
+	os.Exit(run())
+}
 
+func run() int {
 	var (
 		in        = flag.String("in", "", "input click-table CSV (required)")
 		k1        = flag.Int("k1", 10, "minimum users per attack group")
@@ -58,30 +71,48 @@ func main() {
 		tracePath = flag.String("trace", "", "write the run's stage trace to this file as JSON")
 		traceTree = flag.Bool("trace-tree", false, "print the human-readable stage tree after the run")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run; on expiry partial results are printed and the exit status is 2")
 	)
 	flag.Parse()
 	if *listAlgos {
 		for _, name := range baselines.Names() {
 			fmt.Println(name)
 		}
-		return
+		return 0
 	}
 	if *in == "" {
 		flag.Usage()
-		log.Fatal("missing -in")
+		log.Print("missing -in")
+		return 2
 	}
 
-	observer := startObservability(*tracePath, *traceTree, *debugAddr)
+	// SIGINT/SIGTERM cancel the in-flight detection cooperatively; a second
+	// signal kills the process the default way (stop() restores default
+	// handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	observer, debugSrv := startObservability(*tracePath, *traceTree, *debugAddr)
+	defer stopDebugServer(debugSrv)
 
 	if *algo != "" && !strings.EqualFold(*algo, "ricd") {
-		runAlgo(*algo, *in, *labels, *k1, *k2, *alpha, *thot, uint32(*tclick))
+		if err := runAlgo(*algo, *in, *labels, *k1, *k2, *alpha, *thot, uint32(*tclick)); err != nil {
+			log.Print(err)
+			return 1
+		}
 		finishObservability(observer, *tracePath, *traceTree)
-		return
+		return 0
 	}
 
 	g, err := loadGraph(*in)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	fmt.Printf("loaded %s: %d users, %d items, %d edges, %d clicks\n",
 		*in, g.NumUsers(), g.NumItems(), g.NumEdges(), g.TotalClicks())
@@ -98,21 +129,31 @@ func main() {
 	var parseErr error
 	cfg.SeedUsers, parseErr = parseIDs(*seedUsers)
 	if parseErr != nil {
-		log.Fatalf("-seed-users: %v", parseErr)
+		log.Printf("-seed-users: %v", parseErr)
+		return 2
 	}
 	cfg.SeedItems, parseErr = parseIDs(*seedItems)
 	if parseErr != nil {
-		log.Fatalf("-seed-items: %v", parseErr)
+		log.Printf("-seed-items: %v", parseErr)
+		return 2
 	}
 
 	var rep *fakeclick.Report
 	if *expect > 0 {
-		rep, err = fakeclick.DetectWithExpectation(g, cfg, *expect, *rounds)
+		rep, err = fakeclick.DetectWithExpectationContext(ctx, g, cfg, *expect, *rounds)
 	} else {
-		rep, err = fakeclick.Detect(g, cfg)
+		rep, err = fakeclick.DetectContext(ctx, g, cfg)
 	}
 	if err != nil {
-		log.Fatal(err)
+		// A stage panic still yields the partial report alongside the
+		// error; anything without a report is a hard failure.
+		log.Print(err)
+		if rep == nil {
+			return 1
+		}
+	}
+	if rep.Partial {
+		log.Printf("WARNING: run interrupted during %q (%v) — results below are PARTIAL", rep.Stage, rep.Err)
 	}
 
 	fmt.Printf("detection finished in %v (T_hot=%d, T_click=%d)\n",
@@ -139,17 +180,19 @@ func main() {
 	printRanked("items", rep.TopItems(*top))
 
 	for i := 0; i < *explain && i < len(rep.Groups); i++ {
-		text, err := fakeclick.Explain(g, rep, i)
-		if err != nil {
-			log.Fatal(err)
+		text, eerr := fakeclick.Explain(g, rep, i)
+		if eerr != nil {
+			log.Print(eerr)
+			return 1
 		}
 		fmt.Printf("--- evidence for group %d ---\n%s", i+1, text)
 	}
 
 	if *labels != "" {
-		truth, err := loadLabels(*labels)
-		if err != nil {
-			log.Fatal(err)
+		truth, lerr := loadLabels(*labels)
+		if lerr != nil {
+			log.Print(lerr)
+			return 1
 		}
 		ev := metrics.EvaluateNodes(rep.Users, rep.Items, truth)
 		fmt.Printf("against %s (%d labeled abnormal nodes): %v\n",
@@ -157,28 +200,49 @@ func main() {
 	}
 
 	finishObservability(observer, *tracePath, *traceTree)
+	if err != nil || rep.Partial {
+		return 2 // cut-short or panic-degraded run: results incomplete
+	}
+	return 0
 }
 
 // startObservability builds the run's observer when any observability flag
 // is set, and starts the pprof/expvar debug server. The returned observer
-// is nil (free no-op) when all flags are off.
-func startObservability(tracePath string, traceTree bool, debugAddr string) *obs.Observer {
+// is nil (free no-op) when all flags are off; the returned server is
+// non-nil only when debugAddr was set, and is shut down via
+// stopDebugServer so in-flight debug requests drain on exit.
+func startObservability(tracePath string, traceTree bool, debugAddr string) (*obs.Observer, *http.Server) {
 	if tracePath == "" && !traceTree && debugAddr == "" {
-		return nil
+		return nil, nil
 	}
 	o := obs.NewObserver("ricd")
+	var srv *http.Server
 	if debugAddr != "" {
 		// Importing net/http/pprof and expvar registers /debug/pprof/ and
 		// /debug/vars on the default mux; the metrics snapshot joins them.
 		expvar.Publish("ricd_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		srv = &http.Server{Addr: debugAddr}
 		go func() {
-			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("debug server: %v", err)
 			}
 		}()
 		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars)\n", debugAddr)
 	}
-	return o
+	return o, srv
+}
+
+// stopDebugServer gracefully shuts down the debug server (nil is a no-op),
+// bounding the drain so a stuck debug client cannot hold the exit hostage.
+func stopDebugServer(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("debug server shutdown: %v", err)
+	}
 }
 
 // finishObservability ends the trace and emits it as requested.
@@ -190,10 +254,12 @@ func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
 	if tracePath != "" {
 		data, err := o.Trace.JSON()
 		if err != nil {
-			log.Fatalf("-trace: %v", err)
+			log.Printf("-trace: %v", err)
+			return
 		}
 		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
-			log.Fatalf("-trace: %v", err)
+			log.Printf("-trace: %v", err)
+			return
 		}
 		fmt.Printf("stage trace written to %s\n", tracePath)
 	}
@@ -240,10 +306,10 @@ func loadLabels(path string) (*detect.Labels, error) {
 // runAlgo runs a registry detector (Fig 8 style: +UI screening unless the
 // algorithm embeds its own) on the click table and prints its groups plus
 // optional evaluation.
-func runAlgo(name, in, labelsPath string, k1, k2 int, alpha float64, thot uint64, tclick uint32) {
+func runAlgo(name, in, labelsPath string, k1, k2 int, alpha float64, thot uint64, tclick uint32) error {
 	tbl, err := loadTable(in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	g := tbl.ToGraph()
 
@@ -260,11 +326,11 @@ func runAlgo(name, in, labelsPath string, k1, k2 int, alpha float64, thot uint64
 	withUI := !strings.HasPrefix(strings.ToLower(name), "ricd")
 	d, err := baselines.New(name, p, withUI)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := d.Detect(g)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("%s finished in %v: %d groups, %d suspicious users, %d suspicious items\n",
 		d.Name(), res.Elapsed, len(res.Groups), len(res.Users()), len(res.Items()))
@@ -274,10 +340,11 @@ func runAlgo(name, in, labelsPath string, k1, k2 int, alpha float64, thot uint64
 	if labelsPath != "" {
 		truth, err := loadLabels(labelsPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("against %s: %v\n", labelsPath, metrics.Evaluate(res, truth))
 	}
+	return nil
 }
 
 func parseIDs(s string) ([]uint32, error) {

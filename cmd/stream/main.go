@@ -7,10 +7,17 @@
 //
 //	synthgen -out clicks.csv -labels labels.csv -events events.csv
 //	stream -events events.csv [-thot 1000] [-tclick 12] [-labels labels.csv]
-//	       [-trace out.json] [-trace-tree] [-debug-addr :6060]
+//	       [-timeout 1m] [-trace out.json] [-trace-tree] [-debug-addr :6060]
+//
+// SIGINT/SIGTERM (and -timeout expiry) cancel the in-flight sweep
+// cooperatively: the interrupted sweep's partial findings are reported,
+// the replay stops, and the process exits with status 2 so scripts can
+// tell a cut-short replay from a complete one (status 0) or a hard
+// failure (status 1).
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -18,6 +25,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -31,7 +40,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stream: ")
+	os.Exit(run())
+}
 
+func run() int {
 	var (
 		eventsPath = flag.String("events", "", "input event-stream CSV (required)")
 		k1         = flag.Int("k1", 10, "minimum users per attack group")
@@ -43,19 +55,33 @@ func main() {
 		tracePath  = flag.String("trace", "", "write the replay's stage trace to this file as JSON")
 		traceTree  = flag.Bool("trace-tree", false, "print the human-readable stage tree after the replay")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole replay; on expiry the exit status is 2")
 	)
 	flag.Parse()
 	if *eventsPath == "" {
 		flag.Usage()
-		log.Fatal("missing -events")
+		log.Print("missing -events")
+		return 2
+	}
+
+	// SIGINT/SIGTERM cancel the in-flight sweep cooperatively; a second
+	// signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	events, err := loadEvents(*eventsPath)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	if len(events) == 0 {
-		log.Fatal("event stream is empty")
+		log.Print("event stream is empty")
+		return 1
 	}
 	fmt.Printf("replaying %d events over %d days\n", len(events), events[len(events)-1].Day)
 
@@ -63,7 +89,8 @@ func main() {
 	if *labelsPath != "" {
 		truth, err = loadLabels(*labelsPath)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 	}
 
@@ -75,58 +102,98 @@ func main() {
 
 	det, err := stream.New(nil, params)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
-	observer := startObservability(*tracePath, *traceTree, *debugAddr)
+	observer, debugSrv := startObservability(*tracePath, *traceTree, *debugAddr)
+	defer stopDebugServer(debugSrv)
 	det.Obs = observer
 
 	day := events[0].Day
-	flush := func(day int) {
+	// flush sweeps the day; it reports whether the replay should continue
+	// (false once the context is cancelled or a sweep fails hard).
+	interrupted := false
+	flush := func(day int) bool {
 		t0 := time.Now()
-		res, err := det.Detect()
-		if err != nil {
-			log.Fatal(err)
+		res, err := det.DetectContext(ctx)
+		if err != nil && res == nil {
+			log.Print(err)
+			interrupted = true
+			return false
 		}
 		line := fmt.Sprintf("day %2d: %2d groups, %4d suspicious nodes, sweep %v",
 			day, len(res.Groups), res.NumNodes(), time.Since(t0).Round(time.Millisecond))
+		if res.Partial {
+			line += fmt.Sprintf("  PARTIAL (interrupted during %q: %v)", res.StageReached, err)
+		}
 		if truth != nil {
 			ev := metrics.Evaluate(res, truth)
 			line += fmt.Sprintf("  [%v]", ev)
 		}
 		fmt.Println(line)
+		if err != nil {
+			interrupted = true
+			return false
+		}
+		return true
 	}
 	for _, e := range events {
 		if e.Day != day {
-			flush(day)
+			if !flush(day) {
+				break
+			}
 			day = e.Day
 		}
 		det.AddClick(e.UserID, e.ItemID, e.Clicks)
 	}
-	flush(day)
+	if !interrupted {
+		flush(day)
+	}
 
 	finishObservability(observer, *tracePath, *traceTree)
+	if interrupted {
+		log.Print("replay interrupted — results above are incomplete")
+		return 2
+	}
+	return 0
 }
 
 // startObservability builds the replay's observer when any observability
-// flag is set, and starts the pprof/expvar debug server. Returns nil (free
-// no-op) when all flags are off.
-func startObservability(tracePath string, traceTree bool, debugAddr string) *obs.Observer {
+// flag is set, and starts the pprof/expvar debug server. Returns a nil
+// observer (free no-op) when all flags are off; the returned server is
+// non-nil only when debugAddr was set.
+func startObservability(tracePath string, traceTree bool, debugAddr string) (*obs.Observer, *http.Server) {
 	if tracePath == "" && !traceTree && debugAddr == "" {
-		return nil
+		return nil, nil
 	}
 	o := obs.NewObserver("stream")
+	var srv *http.Server
 	if debugAddr != "" {
 		// Importing net/http/pprof and expvar registers /debug/pprof/ and
 		// /debug/vars on the default mux; the metrics snapshot joins them.
 		expvar.Publish("stream_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		srv = &http.Server{Addr: debugAddr}
 		go func() {
-			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("debug server: %v", err)
 			}
 		}()
 		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars)\n", debugAddr)
 	}
-	return o
+	return o, srv
+}
+
+// stopDebugServer gracefully shuts down the debug server (nil is a no-op),
+// bounding the drain so a stuck debug client cannot hold the exit hostage.
+func stopDebugServer(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("debug server shutdown: %v", err)
+	}
 }
 
 // finishObservability ends the trace and emits it as requested.
@@ -138,10 +205,12 @@ func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
 	if tracePath != "" {
 		data, err := o.Trace.JSON()
 		if err != nil {
-			log.Fatalf("-trace: %v", err)
+			log.Printf("-trace: %v", err)
+			return
 		}
 		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
-			log.Fatalf("-trace: %v", err)
+			log.Printf("-trace: %v", err)
+			return
 		}
 		fmt.Printf("stage trace written to %s\n", tracePath)
 	}

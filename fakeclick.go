@@ -26,6 +26,8 @@
 package fakeclick
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -181,11 +183,28 @@ type Report struct {
 	// was set. Render it with Trace.Tree() or serialize with
 	// Trace.JSON().
 	Trace *obs.Trace
+
+	// Partial reports that the run was cut short — by context
+	// cancellation, deadline expiry, or an isolated stage panic — and the
+	// report holds only what the completed stages produced. Stage names
+	// the pipeline stage that was interrupted and Err carries the cause
+	// (context.Canceled, context.DeadlineExceeded, or a *StageError).
+	Partial bool
+	Stage   string
+	Err     error
 }
+
+// StageError is the error produced when a pipeline stage panics: the panic
+// is recovered at the stage boundary and surfaced as an error naming the
+// stage, never as a process crash. Re-exported for errors.As matching.
+type StageError = detect.StageError
 
 // Summary renders a one-paragraph human-readable digest of the report.
 func (r *Report) Summary() string {
 	var b strings.Builder
+	if r.Partial {
+		fmt.Fprintf(&b, "PARTIAL result — run interrupted during %q: %v\n", r.Stage, r.Err)
+	}
 	fmt.Fprintf(&b, "detected %d attack group(s): %d suspicious accounts, %d suspicious items "+
 		"(T_hot=%d, T_click=%d, %v)\n",
 		len(r.Groups), len(r.Users), len(r.Items), r.THot, r.TClick, r.Elapsed.Round(time.Millisecond))
@@ -216,6 +235,23 @@ func topK(nodes []RankedNode, k int) []RankedNode {
 
 // Detect runs the RICD framework on the graph.
 func Detect(g *Graph, cfg Config) (*Report, error) {
+	return DetectContext(context.Background(), g, cfg)
+}
+
+// DetectContext is Detect under a context: cancellation and deadline
+// expiry are honored cooperatively throughout the pipeline (stage
+// boundaries, pruning rounds, parallel pruning workers, per screened
+// group), so detection stops within a fraction of a pruning round of the
+// context's cancellation.
+//
+// A cut-short run degrades gracefully rather than failing: DetectContext
+// returns a non-nil PARTIAL report — whatever the completed stages
+// produced — with Report.Partial set, Report.Stage naming the interrupted
+// stage, and Report.Err carrying the cause. The returned error is nil on
+// cancellation/deadline (the partial report IS the answer to a bounded
+// run) and non-nil only for real failures: invalid parameters, or a stage
+// panic surfaced as a *StageError (alongside the partial report).
+func DetectContext(ctx context.Context, g *Graph, cfg Config) (*Report, error) {
 	bg := g.graph()
 	params, err := resolveParams(bg, cfg)
 	if err != nil {
@@ -228,11 +264,8 @@ func Detect(g *Graph, cfg Config) (*Report, error) {
 	if cfg.SkipScreening {
 		d.Variant = core.VariantUI
 	}
-	res, err := d.Detect(bg)
-	if err != nil {
-		return nil, fmt.Errorf("fakeclick: %w", err)
-	}
-	return buildReport(bg, res, params, cfg.Observer), nil
+	res, err := d.DetectContext(ctx, bg)
+	return finishReport(bg, res, params, cfg.Observer, err)
 }
 
 // DetectWithExpectation runs Detect and, if the output is smaller than
@@ -240,16 +273,48 @@ func Detect(g *Graph, cfg Config) (*Report, error) {
 // (up to maxRounds detection runs) until the expectation is met or every
 // knob reaches its floor.
 func DetectWithExpectation(g *Graph, cfg Config, expectedNodes, maxRounds int) (*Report, error) {
+	return DetectWithExpectationContext(context.Background(), g, cfg, expectedNodes, maxRounds)
+}
+
+// DetectWithExpectationContext is DetectWithExpectation under a context.
+// The context budget covers the whole feedback loop; when it expires
+// mid-loop, the report holds the best result so far (the last complete
+// run when one finished, else the interrupted run's partial output) with
+// the same Partial/Stage/Err tagging as DetectContext.
+func DetectWithExpectationContext(ctx context.Context, g *Graph, cfg Config,
+	expectedNodes, maxRounds int) (*Report, error) {
+
 	bg := g.graph()
 	params, err := resolveParams(bg, cfg)
 	if err != nil {
 		return nil, err
 	}
-	fr, err := core.DetectWithFeedbackObserved(bg, params, expectedNodes, maxRounds, cfg.Observer)
-	if err != nil {
+	fr, err := core.DetectWithFeedbackContext(ctx, bg, params, expectedNodes, maxRounds, cfg.Observer)
+	return finishReport(bg, fr.Result, fr.Params, cfg.Observer, err)
+}
+
+// finishReport applies the graceful-degradation contract shared by the
+// context entry points: a nil error or a pure cancellation yields a
+// report (partial on cancellation); a stage panic yields the partial
+// report AND its *StageError; anything else fails outright.
+func finishReport(bg *bipartite.Graph, res *detect.Result, params core.Params,
+	o *obs.Observer, err error) (*Report, error) {
+
+	if err == nil {
+		return buildReport(bg, res, params, o), nil
+	}
+	if res == nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
-	return buildReport(bg, fr.Result, fr.Params, cfg.Observer), nil
+	rep := buildReport(bg, res, params, o)
+	rep.Partial = true
+	rep.Stage = res.StageReached
+	rep.Err = err
+	var se *StageError
+	if errors.As(err, &se) {
+		return rep, fmt.Errorf("fakeclick: %w", err)
+	}
+	return rep, nil
 }
 
 func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {

@@ -6,6 +6,7 @@
 package lpa
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -58,7 +59,9 @@ func (d *Detector) Detect(g *bipartite.Graph) (*detect.Result, error) {
 		return nil, fmt.Errorf("lpa: %w", err)
 	}
 	prog := engine.NewLabelPropagationProgram(adapter)
-	eng.Run(prog, 2*d.MaxRound+2)
+	if _, err := eng.RunContext(context.Background(), prog, 2*d.MaxRound+2); err != nil {
+		return nil, fmt.Errorf("lpa: %w", err)
+	}
 	labels := prog.Labels()
 
 	// Group live vertices by final label.

@@ -3,9 +3,12 @@ package clicktable
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 )
 
 // CSV format: a header row "user_id,item_id,click" followed by one row per
@@ -38,6 +41,24 @@ func WriteCSV(w io.Writer, t *Table) error {
 	return bw.Flush()
 }
 
+// parseField parses one uint32 CSV field with an operator-grade diagnosis:
+// negative values and values past the uint32 range get their own messages
+// instead of strconv's generic ones.
+func parseField(line int, name, s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err == nil {
+		return uint32(v), nil
+	}
+	switch {
+	case strings.HasPrefix(strings.TrimSpace(s), "-"):
+		return 0, fmt.Errorf("clicktable: line %d: %s %q is negative (IDs and clicks must be non-negative integers)", line, name, s)
+	case errors.Is(err, strconv.ErrRange):
+		return 0, fmt.Errorf("clicktable: line %d: %s %q out of range for uint32 (max %d)", line, name, s, uint64(math.MaxUint32))
+	default:
+		return 0, fmt.Errorf("clicktable: line %d: %s %q is not an unsigned integer", line, name, s)
+	}
+}
+
 // ReadCSV reads a table in CSV format. The header row is validated.
 func ReadCSV(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(bufio.NewReader(r))
@@ -45,6 +66,9 @@ func ReadCSV(r io.Reader) (*Table, error) {
 	cr.ReuseRecord = true
 
 	hdr, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("clicktable: empty input: missing header row %q", strings.Join(csvHeader, ","))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("clicktable: read header: %w", err)
 	}
@@ -63,18 +87,18 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("clicktable: line %d: %w", line, err)
 		}
-		u, err := strconv.ParseUint(rec[0], 10, 32)
+		u, err := parseField(line, "user_id", rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("clicktable: line %d: bad user_id %q: %w", line, rec[0], err)
+			return nil, err
 		}
-		v, err := strconv.ParseUint(rec[1], 10, 32)
+		v, err := parseField(line, "item_id", rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("clicktable: line %d: bad item_id %q: %w", line, rec[1], err)
+			return nil, err
 		}
-		c, err := strconv.ParseUint(rec[2], 10, 32)
+		c, err := parseField(line, "click", rec[2])
 		if err != nil {
-			return nil, fmt.Errorf("clicktable: line %d: bad click %q: %w", line, rec[2], err)
+			return nil, err
 		}
-		t.Append(uint32(u), uint32(v), uint32(c))
+		t.Append(u, v, c)
 	}
 }

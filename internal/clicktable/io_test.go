@@ -86,3 +86,26 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCSVErrorDiagnostics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring the error must carry for operators
+	}{
+		{"", "missing header row"},
+		{"user_id,item_id,click\n1,2,99999999999\n", "out of range for uint32"},
+		{"user_id,item_id,click\n-7,2,3\n", "negative"},
+		{"user_id,item_id,click\n1,2,x\n", "not an unsigned integer"},
+		{"user_id,item_id,click\n1,2,3\n4,5,6\n1,2,x\n", "line 4"},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("no error for %q", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error for %q = %q, want it to mention %q", tc.in, err, tc.want)
+		}
+	}
+}

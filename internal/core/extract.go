@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -134,8 +137,20 @@ func NearBicliqueExtract(work *bipartite.Graph, p Params) []detect.Group {
 // removal/group counts feed o's registry under core.prune.* and
 // core.extract.*. Nil sp/o observe nothing.
 func NearBicliqueExtractObserved(work *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer) []detect.Group {
+	groups, _ := NearBicliqueExtractCtx(context.Background(), work, p, sp, o)
+	return groups
+}
+
+// NearBicliqueExtractCtx is NearBicliqueExtractObserved with cooperative
+// cancellation: pruning checks ctx every round, and the component split is
+// guarded by the "core.extract" checkpoint. A cancelled call returns no
+// groups (a half-pruned residual would report organic users as attackers)
+// together with ctx's error.
+func NearBicliqueExtractCtx(ctx context.Context, work *bipartite.Graph, p Params,
+	sp *obs.Span, o *obs.Observer) ([]detect.Group, error) {
+
 	psp := sp.Start("prune")
-	st := PruneTraced(work, p, psp)
+	st, err := PruneCtx(ctx, work, p, psp)
 	psp.SetInt("rounds", int64(st.Rounds))
 	psp.SetInt("users_removed", int64(st.UsersRemoved))
 	psp.SetInt("items_removed", int64(st.ItemsRemoved))
@@ -144,7 +159,14 @@ func NearBicliqueExtractObserved(work *bipartite.Graph, p Params, sp *obs.Span, 
 	o.Counter("core.prune.users_removed").Add(int64(st.UsersRemoved))
 	o.Counter("core.prune.items_removed").Add(int64(st.ItemsRemoved))
 	o.Histogram("core.prune").Observe(psp.Duration())
+	if err != nil {
+		return nil, err
+	}
 
+	faultinject.Hit("core.extract")
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	esp := sp.Start("extract")
 	groups := ExtractGroups(work, p)
 	esp.SetInt("groups", int64(len(groups)))
@@ -152,5 +174,5 @@ func NearBicliqueExtractObserved(work *bipartite.Graph, p Params, sp *obs.Span, 
 	esp.SetInt("survivor_items", int64(work.LiveItems()))
 	esp.End()
 	o.Counter("core.extract.groups").Add(int64(len(groups)))
-	return groups
+	return groups, nil
 }

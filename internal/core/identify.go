@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -130,21 +132,58 @@ func DetectWithFeedback(g *bipartite.Graph, p Params, expectation, maxIters int)
 func DetectWithFeedbackObserved(g *bipartite.Graph, p Params, expectation, maxIters int,
 	o *obs.Observer) (FeedbackResult, error) {
 
+	return DetectWithFeedbackContext(context.Background(), g, p, expectation, maxIters, o)
+}
+
+// DetectWithFeedbackContext is DetectWithFeedbackObserved under a context:
+// the budget covers the WHOLE loop, not one run. ctx is checked before
+// every iteration (fault-injection site "core.feedback.round") and inside
+// each detection run. When the budget expires mid-loop the best result so
+// far is returned — complete if an earlier iteration finished, partial if
+// the interrupted run was the first — together with the context's error,
+// so a widened re-run that overruns still yields the narrower sweep's
+// findings. A stage panic inside a run aborts the loop with its
+// *detect.StageError and the same best-so-far result.
+func DetectWithFeedbackContext(ctx context.Context, g *bipartite.Graph, p Params,
+	expectation, maxIters int, o *obs.Observer) (FeedbackResult, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if maxIters < 1 {
 		maxIters = 1
 	}
 	fr := FeedbackResult{Params: p}
+	lastGood := p // params of the last COMPLETE run held in fr.Result
 	defer func() {
 		o.Counter("ricd.feedback.iterations").Add(int64(fr.Iterations))
 	}()
 	for i := 0; i < maxIters; i++ {
+		faultinject.Hit("core.feedback.round")
+		if err := ctx.Err(); err != nil {
+			if fr.Result == nil {
+				fr.Result = &detect.Result{Partial: true, StageReached: "feedback"}
+			} else {
+				fr.Params = lastGood
+			}
+			return fr, err
+		}
 		d := &Detector{Params: fr.Params, Obs: o}
-		res, err := d.Detect(g)
+		res, err := d.DetectContext(ctx, g)
 		if err != nil {
+			// Keep the last COMPLETE result when one exists: a finished
+			// narrow sweep beats a half-finished wide one.
+			if fr.Result == nil {
+				fr.Result = res
+			} else {
+				fr.Params = lastGood
+			}
+			fr.Iterations = i + 1
 			return fr, err
 		}
 		fr.Result = res
 		fr.Iterations = i + 1
+		lastGood = fr.Params
 		if res.NumNodes() >= expectation {
 			fr.MetExpectation = true
 			return fr, nil

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -41,23 +43,38 @@ func Prune(g *bipartite.Graph, p Params) PruneStats {
 // pass) becomes a child span of sp carrying its removal counts. A nil sp
 // traces nothing at no cost.
 func PruneTraced(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
-	if p.SinglePass {
-		return pruneSinglePass(g, p, sp)
-	}
-	return pruneFixpoint(g, p, sp)
+	st, _ := PruneCtx(context.Background(), g, p, sp)
+	return st
 }
 
-func pruneFixpoint(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
+// PruneCtx is PruneTraced with cooperative cancellation: the fixpoint loop
+// checks ctx at the top of every round (fault-injection site
+// "core.prune.round") and the parallel square-pruning workers poll ctx
+// periodically, so a cancelled prune returns within a fraction of a round.
+// On cancellation the graph is left mid-prune (still a valid graph, but not
+// at the fixpoint) and the accumulated stats are returned with ctx's error.
+func PruneCtx(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
+	if p.SinglePass {
+		return pruneSinglePass(ctx, g, p, sp)
+	}
+	return pruneFixpoint(ctx, g, p, sp)
+}
+
+func pruneFixpoint(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
 	var st PruneStats
 	for {
+		faultinject.Hit("core.prune.round")
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		st.Rounds++
 		rsp := sp.Start("round")
 		removed := corePruneFixpoint(g, p)
-		uVictims := squareRoundUsers(g, p)
+		uVictims := squareRoundUsers(ctx, g, p)
 		for _, u := range uVictims {
 			g.RemoveUser(u)
 		}
-		iVictims := squareRoundItems(g, p)
+		iVictims := squareRoundItems(ctx, g, p)
 		for _, v := range iVictims {
 			g.RemoveItem(v)
 		}
@@ -68,13 +85,19 @@ func pruneFixpoint(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
 		rsp.SetInt("square_users_removed", int64(len(uVictims)))
 		rsp.SetInt("square_items_removed", int64(len(iVictims)))
 		rsp.End()
+		if err := ctx.Err(); err != nil {
+			// A cancelled square round returns a truncated victim list;
+			// the removals applied so far are sound (both conditions are
+			// monotone) but the fixpoint is not reached.
+			return st, err
+		}
 		if len(uVictims) == 0 && len(iVictims) == 0 {
-			return st
+			return st, nil
 		}
 	}
 }
 
-func pruneSinglePass(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
+func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
 	var st PruneStats
 	st.Rounds = 1
 	pass := sp.Start("single_pass")
@@ -83,6 +106,10 @@ func pruneSinglePass(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
 		pass.SetInt("items_removed", int64(st.ItemsRemoved))
 		pass.End()
 	}()
+	faultinject.Hit("core.prune.round")
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 	minUDeg := ceilMul(p.K2, p.Alpha)
 	minIDeg := ceilMul(p.K1, p.Alpha)
 
@@ -103,25 +130,39 @@ func pruneSinglePass(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
 		return true
 	})
 
-	// SquarePruning, literal: sequential scans with immediate removal.
+	// SquarePruning, literal: sequential scans with immediate removal,
+	// polling ctx between vertices so a cancel lands promptly.
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 	needU := ceilMul(p.K2, p.Alpha)
 	counter := newCommonCounter(g.NumUsers(), g.NumItems())
+	scanned := 0
 	g.EachLiveUser(func(u bipartite.NodeID) bool {
+		if scanned++; scanned&0xff == 0 && ctx.Err() != nil {
+			return false
+		}
 		if !squareSurvivesUser(g, u, needU, p.K1, counter) {
 			g.RemoveUser(u)
 			st.UsersRemoved++
 		}
 		return true
 	})
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
 	needI := ceilMul(p.K1, p.Alpha)
 	g.EachLiveItem(func(v bipartite.NodeID) bool {
+		if scanned++; scanned&0xff == 0 && ctx.Err() != nil {
+			return false
+		}
 		if !squareSurvivesItem(g, v, needI, p.K2, counter) {
 			g.RemoveItem(v)
 			st.ItemsRemoved++
 		}
 		return true
 	})
-	return st
+	return st, ctx.Err()
 }
 
 // corePruneFixpoint removes vertices violating the Lemma 1 degree bounds
@@ -302,26 +343,29 @@ func sortByDegree(ids []bipartite.NodeID, deg func(bipartite.NodeID) int) {
 
 // squareRoundUsers evaluates the user-side square condition for every live
 // user against the frozen graph, in parallel, and returns the victims.
-func squareRoundUsers(g *bipartite.Graph, p Params) []bipartite.NodeID {
+func squareRoundUsers(ctx context.Context, g *bipartite.Graph, p Params) []bipartite.NodeID {
 	need := ceilMul(p.K2, p.Alpha)
 	ids := g.LiveUserIDs()
-	return parallelFilter(ids, p.workers(), func(c *commonCounter, u bipartite.NodeID) bool {
+	return parallelFilter(ctx, ids, p.workers(), func(c *commonCounter, u bipartite.NodeID) bool {
 		return !squareSurvivesUser(g, u, need, p.K1, c)
 	}, g)
 }
 
 // squareRoundItems is the item-side dual of squareRoundUsers.
-func squareRoundItems(g *bipartite.Graph, p Params) []bipartite.NodeID {
+func squareRoundItems(ctx context.Context, g *bipartite.Graph, p Params) []bipartite.NodeID {
 	need := ceilMul(p.K1, p.Alpha)
 	ids := g.LiveItemIDs()
-	return parallelFilter(ids, p.workers(), func(c *commonCounter, v bipartite.NodeID) bool {
+	return parallelFilter(ctx, ids, p.workers(), func(c *commonCounter, v bipartite.NodeID) bool {
 		return !squareSurvivesItem(g, v, need, p.K2, c)
 	}, g)
 }
 
 // parallelFilter returns the IDs for which pred is true, preserving input
-// order. Each worker owns a private counter.
-func parallelFilter(ids []bipartite.NodeID, workers int,
+// order. Each worker owns a private counter. Workers poll ctx every 256
+// vertices and stop early when it is cancelled; the caller must treat a
+// cancelled round's output as truncated (pruneFixpoint re-checks ctx after
+// applying it).
+func parallelFilter(ctx context.Context, ids []bipartite.NodeID, workers int,
 	pred func(*commonCounter, bipartite.NodeID) bool, g *bipartite.Graph) []bipartite.NodeID {
 
 	if workers < 1 {
@@ -333,7 +377,10 @@ func parallelFilter(ids []bipartite.NodeID, workers int,
 	if workers <= 1 {
 		c := newCommonCounter(g.NumUsers(), g.NumItems())
 		var out []bipartite.NodeID
-		for _, id := range ids {
+		for i, id := range ids {
+			if i&0xff == 0 && ctx.Err() != nil {
+				return out
+			}
 			if pred(c, id) {
 				out = append(out, id)
 			}
@@ -358,6 +405,9 @@ func parallelFilter(ids []bipartite.NodeID, workers int,
 			defer wg.Done()
 			c := newCommonCounter(g.NumUsers(), g.NumItems())
 			for i := lo; i < hi; i++ {
+				if i&0xff == 0 && ctx.Err() != nil {
+					return
+				}
 				keep[i] = pred(c, ids[i])
 			}
 		}(lo, hi)

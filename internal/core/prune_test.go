@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -180,8 +181,8 @@ func TestParallelFilterMatchesSerial(t *testing.T) {
 	pPar := pSerial
 	pPar.Workers = 8
 
-	serialU := squareRoundUsers(g, pSerial)
-	parU := squareRoundUsers(g, pPar)
+	serialU := squareRoundUsers(context.Background(), g, pSerial)
+	parU := squareRoundUsers(context.Background(), g, pPar)
 	if len(serialU) != len(parU) {
 		t.Fatalf("victim counts differ: serial %d, parallel %d", len(serialU), len(parU))
 	}

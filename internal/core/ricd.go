@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -54,10 +57,28 @@ type Detector struct {
 func (d *Detector) Name() string { return d.Variant.String() }
 
 // Detect implements detect.Detector: it runs the three modules of Fig 4 in
-// sequence. The input graph is not mutated.
+// sequence. The input graph is not mutated. Detect cannot be cancelled —
+// use DetectContext for bounded runs — but it shares DetectContext's panic
+// isolation: a stage bug surfaces as a *detect.StageError, not a crash.
 func (d *Detector) Detect(g *bipartite.Graph) (*detect.Result, error) {
+	return d.DetectContext(context.Background(), g)
+}
+
+// DetectContext runs the pipeline under a context. Cancellation and
+// deadline expiry are honored cooperatively at stage boundaries, between
+// pruning rounds, inside the parallel pruning workers, and between
+// screened groups, so a cancel lands within a fraction of a round. A
+// cut-short run returns a non-nil, well-formed PARTIAL result — whatever
+// groups the completed stages produced, with Result.Partial set and
+// Result.StageReached naming the interrupted stage — together with the
+// context's error. A stage panic is isolated the same way and returned as
+// a *detect.StageError. Only parameter validation returns a nil result.
+func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*detect.Result, error) {
 	if err := d.Params.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	p := d.Params
 	o := d.Obs
@@ -65,35 +86,105 @@ func (d *Detector) Detect(g *bipartite.Graph) (*detect.Result, error) {
 	run.Set("variant", d.Variant.String())
 	start := time.Now()
 
+	var groups []detect.Group
+	detectDone := start
+
+	// stage runs fn as a named, panic-isolated, cancellable pipeline stage:
+	// the fault-injection site "core.<name>" fires first, then ctx is
+	// checked, then fn runs with panics converted to *detect.StageError.
+	stage := func(name string, fn func() error) error {
+		return detect.RunStage(name, func() error {
+			faultinject.Hit("core." + name)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fn()
+		})
+	}
+
+	// degrade finalizes a cut-short run: the result carries whatever groups
+	// the completed stages produced (the graceful-degradation contract).
+	degrade := func(stageName string, err error) (*detect.Result, error) {
+		res := &detect.Result{Groups: groups, Partial: true, StageReached: stageName}
+		res.Elapsed = time.Since(start)
+		if detectDone.After(start) {
+			res.DetectElapsed = detectDone.Sub(start)
+			res.ScreenElapsed = res.Elapsed - res.DetectElapsed
+		} else {
+			res.DetectElapsed = res.Elapsed
+		}
+		run.Set("partial", stageName)
+		run.End()
+		var se *detect.StageError
+		if errors.As(err, &se) {
+			o.Counter("ricd.stage_panics").Inc()
+		} else {
+			o.Counter("ricd.cancellations").Inc()
+		}
+		return res, err
+	}
+
 	// Module 1: suspicious group detection. Hotness is classified on the
 	// full input graph before pruning.
 	dsp := run.Start("detection")
-	hsp := dsp.Start("hotset")
-	hot := ComputeHotSet(g, p.THot)
-	hsp.SetInt("hot_items", int64(hot.Count()))
-	hsp.End()
+	var hot *HotSet
+	if err := stage("hotset", func() error {
+		hsp := dsp.Start("hotset")
+		hot = ComputeHotSet(g, p.THot)
+		hsp.SetInt("hot_items", int64(hot.Count()))
+		hsp.End()
+		return nil
+	}); err != nil {
+		dsp.End()
+		return degrade("hotset", err)
+	}
 
-	gsp := dsp.Start("graph_generator")
-	work := GraphGenerator(g, d.Seeds)
-	gsp.SetInt("live_users", int64(work.LiveUsers()))
-	gsp.SetInt("live_items", int64(work.LiveItems()))
-	gsp.SetInt("live_edges", int64(work.LiveEdges()))
-	gsp.End()
+	var work *bipartite.Graph
+	if err := stage("graph_generator", func() error {
+		gsp := dsp.Start("graph_generator")
+		work = GraphGenerator(g, d.Seeds)
+		gsp.SetInt("live_users", int64(work.LiveUsers()))
+		gsp.SetInt("live_items", int64(work.LiveItems()))
+		gsp.SetInt("live_edges", int64(work.LiveEdges()))
+		gsp.End()
+		return nil
+	}); err != nil {
+		dsp.End()
+		return degrade("graph_generator", err)
+	}
 
-	groups := NearBicliqueExtractObserved(work, p, dsp, o)
+	if err := stage("extraction", func() error {
+		var eerr error
+		groups, eerr = NearBicliqueExtractCtx(ctx, work, p, dsp, o)
+		return eerr
+	}); err != nil {
+		dsp.End()
+		return degrade("extraction", err)
+	}
 	dsp.End()
-	detectDone := time.Now()
+	detectDone = time.Now()
 
-	// Module 2: suspicious group screening (variant-dependent).
+	// Module 2: suspicious group screening (variant-dependent). On
+	// cancellation mid-screening the groups fully screened so far are kept:
+	// each is individually sound, the run is just incomplete.
 	ssp := run.Start("screening")
 	ssp.Set("mode", d.Variant.String())
-	switch d.Variant {
-	case VariantUI:
-		// No screening at all.
-	case VariantI:
-		groups = screenUsersOnly(g, groups, hot, p)
-	default:
-		groups = ScreenGroupsObserved(g, groups, hot, p, ssp, o)
+	if err := stage("screening", func() error {
+		switch d.Variant {
+		case VariantUI:
+			// No screening at all.
+			return nil
+		case VariantI:
+			groups = screenUsersOnly(g, groups, hot, p)
+			return nil
+		default:
+			var serr error
+			groups, serr = ScreenGroupsCtx(ctx, g, groups, hot, p, ssp, o)
+			return serr
+		}
+	}); err != nil {
+		ssp.End()
+		return degrade("screening", err)
 	}
 	ssp.SetInt("groups_out", int64(len(groups)))
 	ssp.End()
@@ -102,7 +193,13 @@ func (d *Detector) Detect(g *bipartite.Graph) (*detect.Result, error) {
 	// first; per-node rankings are available via RankResult.
 	isp := run.Start("identification")
 	res := &detect.Result{Groups: groups}
-	scoreGroups(g, res)
+	if err := stage("identification", func() error {
+		scoreGroups(g, res)
+		return nil
+	}); err != nil {
+		isp.End()
+		return degrade("identification", err)
+	}
 	isp.End()
 
 	res.DetectElapsed = detectDone.Sub(start)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/bipartite"
 	"repro/internal/detect"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -151,15 +154,33 @@ func ScreenGroups(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Para
 func ScreenGroupsObserved(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Params,
 	sp *obs.Span, o *obs.Observer) []detect.Group {
 
+	out, _ := ScreenGroupsCtx(context.Background(), g, groups, hot, p, sp, o)
+	return out
+}
+
+// ScreenGroupsCtx is ScreenGroupsObserved with cooperative cancellation:
+// ctx is checked before each candidate group (fault-injection site
+// "core.screen.group"). On cancellation the groups fully screened so far
+// still go through the cheap repartition, so the partial output obeys the
+// same contract as a complete one (every returned group is screened and
+// satisfies the Definition 3 size bounds) — it may just be missing groups.
+func ScreenGroupsCtx(ctx context.Context, g *bipartite.Graph, groups []detect.Group,
+	hot *HotSet, p Params, sp *obs.Span, o *obs.Observer) ([]detect.Group, error) {
+
 	var usersIn, itemsIn int
 	for _, grp := range groups {
 		usersIn += len(grp.Users)
 		itemsIn += len(grp.Items)
 	}
 
+	var ctxErr error
 	csp := sp.Start("behavior_checks")
 	var allUsers, allItems []bipartite.NodeID
 	for _, grp := range groups {
+		faultinject.Hit("core.screen.group")
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
 		users := UserBehaviorCheck(g, grp, hot, p)
 		if len(users) == 0 {
 			continue
@@ -198,7 +219,7 @@ func ScreenGroupsObserved(g *bipartite.Graph, groups []detect.Group, hot *HotSet
 	o.Counter("core.screen.users_dropped").Add(int64(usersIn - len(allUsers)))
 	o.Counter("core.screen.items_dropped").Add(int64(itemsIn - len(allItems)))
 	if len(allUsers) == 0 || len(allItems) == 0 {
-		return nil
+		return nil, ctxErr
 	}
 
 	rsp := sp.Start("repartition")
@@ -216,5 +237,5 @@ func ScreenGroupsObserved(g *bipartite.Graph, groups []detect.Group, hot *HotSet
 	rsp.SetInt("groups_out", int64(len(out)))
 	rsp.End()
 	o.Counter("core.screen.groups_out").Add(int64(len(out)))
-	return out
+	return out, ctxErr
 }

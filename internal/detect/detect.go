@@ -6,12 +6,51 @@
 package detect
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/bipartite"
 )
+
+// StageError reports that one named stage of a detection pipeline failed.
+// Detectors convert a stage panic into a *StageError instead of letting it
+// kill the process, so an always-on risk-control service survives a bug in
+// any single stage. Either Panic (the recovered value) or Err (a wrapped
+// error) is set, never both.
+type StageError struct {
+	// Stage is the pipeline stage that failed, e.g. "prune" or
+	// "engine.superstep".
+	Stage string
+	// Panic is the recovered panic value when the stage panicked.
+	Panic any
+	// Err is the underlying error when the stage failed without panicking.
+	Err error
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("detect: stage %q panicked: %v", e.Stage, e.Panic)
+	}
+	return fmt.Sprintf("detect: stage %q: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying error (nil for panics).
+func (e *StageError) Unwrap() error { return e.Err }
+
+// RunStage executes fn as the named pipeline stage, converting a panic into
+// a *StageError. It is the panic-isolation primitive shared by the RICD
+// core, the BSP engine and the stream detector.
+func RunStage(stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{Stage: stage, Panic: r}
+		}
+	}()
+	return fn()
+}
 
 // Group is one suspected "Ride Item's Coattails" attack group: a set of
 // suspicious users (crowd workers) and suspicious items (attack targets).
@@ -39,6 +78,15 @@ type Result struct {
 	// without that structure.
 	DetectElapsed time.Duration
 	ScreenElapsed time.Duration
+
+	// Partial reports that the run was cut short — by cancellation,
+	// deadline expiry, or an isolated stage failure — and Groups holds only
+	// what the completed stages produced (the graceful-degradation
+	// contract: best-effort results instead of nothing).
+	Partial bool
+	// StageReached names the pipeline stage at which a partial run stopped;
+	// empty for complete runs.
+	StageReached string
 
 	// union memoizes the Users/Items dedup-union: reporting, metrics and
 	// tracing all call them repeatedly. Groups must be final before the

@@ -12,10 +12,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -134,8 +137,37 @@ type SuperstepEnder interface {
 
 // Run executes the program until every vertex has halted with no messages
 // in flight, or maxSupersteps have run. It returns the number of supersteps
-// executed.
+// executed. A panicking vertex program re-panics in the caller's goroutine
+// (with a *detect.StageError value) — use RunContext to get it as an error
+// instead.
 func (e *Engine) Run(p Program, maxSupersteps int) int {
+	steps, err := e.RunContext(context.Background(), p, maxSupersteps)
+	if err != nil {
+		// Background context never cancels, so err can only be a worker
+		// panic; legacy callers get the historic crash semantics, but now
+		// from the calling goroutine, where a recover can reach it.
+		panic(err)
+	}
+	return steps
+}
+
+// RunContext is Run under a context, with worker panic isolation.
+//
+// Cancellation is honored cooperatively: ctx is checked before every
+// superstep (fault-injection site "engine.superstep") and the workers poll
+// it every few hundred vertices, stop computing, and drain cleanly through
+// the usual barrier — no goroutine is leaked, and the engine is left at a
+// superstep boundary. A cancelled run returns the superstep count reached
+// and the context's error.
+//
+// A panic in a vertex program (fault-injection site "engine.worker") no
+// longer kills the process: each worker recovers it, the barrier still
+// joins every worker, and the first panic is returned as a
+// *detect.StageError with stage "engine.superstep".
+func (e *Engine) RunContext(ctx context.Context, p Program, maxSupersteps int) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for v := 0; v < e.numVertices; v++ {
 		p.Init(VertexID(v))
 		e.active[v] = true
@@ -146,17 +178,23 @@ func (e *Engine) Run(p Program, maxSupersteps int) int {
 	rsp.SetInt("vertices", int64(e.numVertices))
 	rsp.SetInt("workers", int64(e.numWorkers))
 	var totalMsgs int64
+	var runErr error
 
 	step := 0
 	for ; step < maxSupersteps; step++ {
+		faultinject.Hit("engine.superstep")
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		ssp := rsp.Start("superstep")
 		if e.Obs != nil {
 			ssp.SetInt("step", int64(step))
 			ssp.SetInt("active", int64(e.activeCount()))
 		}
-		more, delivered := e.superstep(p, step)
+		more, delivered, err := e.superstep(ctx, p, step)
 		e.mergeAggregators()
-		if ender != nil {
+		if ender != nil && err == nil {
 			ender.EndSuperstep(step)
 		}
 		ssp.SetInt("messages_routed", int64(delivered))
@@ -166,6 +204,11 @@ func (e *Engine) Run(p Program, maxSupersteps int) int {
 		e.Obs.Counter("engine.messages_routed").Add(int64(delivered))
 		if e.Obs != nil {
 			e.Obs.Gauge("engine.active_vertices").Set(int64(e.activeCount()))
+		}
+		if err != nil {
+			runErr = err
+			step++
+			break
 		}
 		if !more {
 			step++
@@ -177,7 +220,10 @@ func (e *Engine) Run(p Program, maxSupersteps int) int {
 	rsp.End()
 	e.Obs.Counter("engine.runs").Inc()
 	e.Obs.Histogram("engine.run").Observe(rsp.Duration())
-	return step
+	if runErr != nil {
+		e.Obs.Counter("engine.aborted_runs").Inc()
+	}
+	return step, runErr
 }
 
 // activeCount is an observability helper: the number of currently active
@@ -193,25 +239,53 @@ func (e *Engine) activeCount() int {
 }
 
 // superstep runs one BSP round; it reports whether another round is needed
-// and how many messages were routed at the barrier.
-func (e *Engine) superstep(p Program, step int) (more bool, delivered int) {
-	var wg sync.WaitGroup
+// and how many messages were routed at the barrier. Workers poll ctx every
+// 256 vertices and recover program panics; the barrier always joins every
+// worker before the first recovered panic is returned as a StageError, so
+// an aborted superstep leaves no goroutine behind.
+func (e *Engine) superstep(ctx context.Context, p Program, step int) (more bool, delivered int, err error) {
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked []any
+	)
 	for _, w := range e.workers {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			ctx := Context{Superstep: step, worker: w}
-			for _, v := range w.vertices {
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					panicked = append(panicked, r)
+					panicMu.Unlock()
+				}
+			}()
+			faultinject.Hit("engine.worker")
+			c := Context{Superstep: step, worker: w}
+			for i, v := range w.vertices {
+				if i&0xff == 0 && ctx.Err() != nil {
+					return
+				}
 				inbox := e.mailboxes[v]
 				if !e.active[v] && len(inbox) == 0 {
 					continue
 				}
 				e.active[v] = true // message arrival reactivates
-				p.Compute(&ctx, v, inbox)
+				p.Compute(&c, v, inbox)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if len(panicked) > 0 {
+		// Drop the aborted superstep's half-built outboxes so a later run
+		// on this engine does not replay them.
+		for _, src := range e.workers {
+			for i := range src.outbox {
+				src.outbox[i] = nil
+			}
+		}
+		return false, 0, &detect.StageError{Stage: "engine.superstep", Panic: panicked[0]}
+	}
 
 	// Barrier: route outboxes into mailboxes for the next superstep.
 	for v := range e.mailboxes {
@@ -229,14 +303,14 @@ func (e *Engine) superstep(p Program, step int) (more bool, delivered int) {
 		}
 	}
 	if delivered > 0 {
-		return true, delivered
+		return true, delivered, nil
 	}
 	for v := 0; v < e.numVertices; v++ {
 		if e.active[v] {
-			return true, delivered
+			return true, delivered, nil
 		}
 	}
-	return false, delivered
+	return false, delivered, nil
 }
 
 // GraphAdapter maps a bipartite graph into the engine's unified vertex ID

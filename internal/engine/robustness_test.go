@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/faultinject"
+)
+
+// TestRunContextCancelBetweenSupersteps: a cancel armed at the superstep
+// checkpoint stops the run at a superstep boundary with the context's
+// error and the steps-so-far count.
+func TestRunContextCancelBetweenSupersteps(t *testing.T) {
+	defer faultinject.Reset()
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	faultinject.Arm("engine.superstep", faultinject.Fault{Do: func() {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+	}})
+
+	steps, err := e.RunContext(ctx, &chattyProgram{adapter: a}, 100)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if steps != 1 {
+		t.Errorf("ran %d supersteps before the cancel, want 1", steps)
+	}
+}
+
+// TestRunContextWorkerPanicIsStageError: a panic inside a worker goroutine
+// joins the barrier (no goroutine leak) and surfaces as a *detect.StageError
+// from RunContext, never as a crash.
+func TestRunContextWorkerPanicIsStageError(t *testing.T) {
+	defer faultinject.Reset()
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 4)
+	faultinject.Arm("engine.worker", faultinject.Fault{Panic: "vertex bug", Times: 1})
+
+	before := runtime.NumGoroutine()
+	_, err := e.RunContext(context.Background(), &chattyProgram{adapter: a}, 100)
+	var se *detect.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *detect.StageError", err)
+	}
+	if se.Stage != "engine.superstep" {
+		t.Errorf("StageError.Stage = %q, want engine.superstep", se.Stage)
+	}
+	if se.Panic != "vertex bug" {
+		t.Errorf("StageError.Panic = %v, want the injected value", se.Panic)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunContextAbortedRunDoesNotReplayStaleMessages: after a panic-aborted
+// superstep, a fresh run on the same engine must not deliver the aborted
+// round's half-built outboxes.
+func TestRunContextAbortedRunDoesNotReplayStaleMessages(t *testing.T) {
+	defer faultinject.Reset()
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 2)
+	// Let the workers send in superstep 0, then panic in superstep 1.
+	faultinject.Arm("engine.worker", faultinject.Fault{Panic: "late bug", Times: 1})
+	if _, err := e.RunContext(context.Background(), &chattyProgram{adapter: a}, 100); err == nil {
+		t.Fatal("expected the injected panic to abort the run")
+	}
+	faultinject.Reset()
+
+	// A clean program on the same engine: the degree program converges in
+	// ≤ 3 supersteps; stale chatty messages would reactivate vertices and
+	// distort the degrees.
+	p := NewDegreeProgram(a)
+	steps, err := e.RunContext(context.Background(), p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps > 3 {
+		t.Errorf("post-abort run took %d supersteps; stale messages replayed", steps)
+	}
+}
+
+// TestRunPanicsForLegacyCallers: the ctx-less Run keeps its historic
+// crash-on-bug semantics, but from the calling goroutine, where tests (and
+// defensive callers) can recover it.
+func TestRunPanicsForLegacyCallers(t *testing.T) {
+	defer faultinject.Reset()
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 2)
+	faultinject.Arm("engine.worker", faultinject.Fault{Panic: "bug", Times: 1})
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run did not re-panic on a worker panic")
+		}
+		if _, ok := r.(*detect.StageError); !ok {
+			t.Errorf("Run panicked with %T, want *detect.StageError", r)
+		}
+	}()
+	e.Run(&chattyProgram{adapter: a}, 100)
+}
+
+// waitForGoroutines retries briefly until the goroutine count returns to
+// the baseline (the runtime reaps worker goroutines asynchronously).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), baseline)
+}

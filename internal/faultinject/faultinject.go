@@ -1,0 +1,138 @@
+// Package faultinject is a test-only fault hook for the detection
+// pipeline. Production code marks interruption/recovery checkpoints with
+// Hit(site); tests arm faults (panics, delays, arbitrary callbacks such as
+// a context cancel) at named sites to prove every stage is cancellable and
+// panic-isolated.
+//
+// The package follows the same zero-cost-when-disabled discipline as
+// internal/obs: when no fault plan is armed — the default everywhere — a
+// Hit is a single atomic load and an immediate return, with no locks and
+// no allocations. Production code never arms faults; only tests do.
+//
+// Typical test wiring:
+//
+//	defer faultinject.Reset()
+//	faultinject.Arm("core.prune.round", faultinject.Fault{Do: cancel})
+//	res, err := det.DetectContext(ctx, g) // cancelled at the first round
+//	if faultinject.HitCount("core.prune.round") == 0 { t.Fatal("site not reached") }
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is what happens when an armed site is hit. Fields compose; they are
+// applied in order Do → Delay → Panic.
+type Fault struct {
+	// Do, when non-nil, runs at the site — typically a context.CancelFunc
+	// to force cancellation exactly at that checkpoint.
+	Do func()
+	// Delay, when positive, sleeps at the site, simulating a stalled stage.
+	Delay time.Duration
+	// Panic, when non-nil, panics with this value, simulating a stage bug.
+	Panic any
+	// Times bounds how often the fault fires; 0 means every hit.
+	Times int
+}
+
+// active is nonzero while a plan is armed; the fast path of Hit loads only
+// this.
+var active atomic.Int32
+
+var (
+	mu     sync.Mutex
+	faults map[string]*armed
+	hits   map[string]int
+)
+
+type armed struct {
+	fault Fault
+	fired int
+}
+
+// Arm installs a fault at a named site. Arming any site switches the
+// package into active mode, in which every Hit is also counted (see
+// HitCount). Tests must Reset when done.
+func Arm(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = map[string]*armed{}
+		hits = map[string]int{}
+	}
+	faults[site] = &armed{fault: f}
+	active.Store(1)
+}
+
+// Record switches the package into active mode without arming any fault,
+// so tests can enumerate which sites a run passes through via HitCount.
+func Record() {
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = map[string]*armed{}
+		hits = map[string]int{}
+	}
+	active.Store(1)
+}
+
+// Reset disarms all faults, clears hit counts and returns the package to
+// the zero-cost inactive mode.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = nil
+	hits = nil
+	active.Store(0)
+}
+
+// HitCount returns how many times a site was hit while the package was
+// active (always 0 in inactive mode).
+func HitCount(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[site]
+}
+
+// Sites returns the names of all sites hit while active.
+func Sites() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(hits))
+	for s := range hits {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Hit marks a named pipeline checkpoint. Inactive (the production default)
+// it is a single atomic load. Active, it counts the hit and applies any
+// armed fault — which may sleep, run a callback, or panic (the panic
+// propagates to the caller's recovery layer, exactly like a stage bug).
+func Hit(site string) {
+	if active.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	hits[site]++
+	a := faults[site]
+	if a == nil || (a.fault.Times > 0 && a.fired >= a.fault.Times) {
+		mu.Unlock()
+		return
+	}
+	a.fired++
+	f := a.fault
+	mu.Unlock()
+
+	if f.Do != nil {
+		f.Do()
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+}

@@ -1,0 +1,76 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInactiveIsNoOp(t *testing.T) {
+	Reset()
+	Hit("anything") // must not panic, count, or block
+	if n := HitCount("anything"); n != 0 {
+		t.Fatalf("inactive HitCount = %d, want 0", n)
+	}
+}
+
+func TestRecordCountsHits(t *testing.T) {
+	defer Reset()
+	Record()
+	Hit("a")
+	Hit("a")
+	Hit("b")
+	if n := HitCount("a"); n != 2 {
+		t.Fatalf("HitCount(a) = %d, want 2", n)
+	}
+	if n := HitCount("b"); n != 1 {
+		t.Fatalf("HitCount(b) = %d, want 1", n)
+	}
+	if got := len(Sites()); got != 2 {
+		t.Fatalf("Sites() has %d entries, want 2", got)
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	defer Reset()
+	Arm("boom", Fault{Panic: "injected"})
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v, want \"injected\"", r)
+		}
+	}()
+	Hit("boom")
+	t.Fatal("Hit did not panic")
+}
+
+func TestArmDoAndTimes(t *testing.T) {
+	defer Reset()
+	calls := 0
+	Arm("once", Fault{Do: func() { calls++ }, Times: 1})
+	Hit("once")
+	Hit("once")
+	if calls != 1 {
+		t.Fatalf("Do ran %d times, want 1 (Times bound)", calls)
+	}
+	if n := HitCount("once"); n != 2 {
+		t.Fatalf("HitCount = %d, want 2 (hits count even when the fault is spent)", n)
+	}
+}
+
+func TestArmDelay(t *testing.T) {
+	defer Reset()
+	Arm("slow", Fault{Delay: 10 * time.Millisecond})
+	start := time.Now()
+	Hit("slow")
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want ≥ 10ms", d)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	Arm("boom", Fault{Panic: "injected"})
+	Reset()
+	Hit("boom") // must not panic
+	if n := HitCount("boom"); n != 0 {
+		t.Fatalf("HitCount after Reset = %d, want 0", n)
+	}
+}

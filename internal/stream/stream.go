@@ -17,18 +17,23 @@
 package stream
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
-// Detector is an incremental RICD detector. It is not safe for concurrent
-// use; callers stream events and periodically ask for Detect.
+// Detector is an incremental RICD detector. Ingestion and detection are
+// safe to run concurrently: AddClick/AddBatch may race with an in-flight
+// Detect, which sweeps a consistent snapshot of the graph taken at entry;
+// clicks streamed during a sweep land in the next one.
 type Detector struct {
 	params core.Params
 
@@ -45,6 +50,11 @@ type Detector struct {
 	// nothing.
 	Obs *obs.Observer
 
+	// mu guards all mutable state below. Detect holds it only while taking
+	// its snapshot and while committing a completed sweep, never during the
+	// detection work itself, so ingestion stalls for microseconds, not for
+	// a whole sweep.
+	mu    sync.Mutex
 	table *clicktable.Table
 	graph *bipartite.Graph // nil when table has pending rows
 	dirty map[bipartite.NodeID]struct{}
@@ -87,17 +97,21 @@ func New(initial *clicktable.Table, params core.Params) (*Detector, error) {
 	return d, nil
 }
 
-// AddClick streams one aggregated click event.
+// AddClick streams one aggregated click event. Safe to call while a sweep
+// is in flight; the click joins the next sweep's dirty region.
 func (d *Detector) AddClick(user, item uint32, clicks uint32) {
 	if clicks == 0 {
 		return
 	}
+	d.mu.Lock()
 	d.table.Append(user, item, clicks)
 	d.dirty[user] = struct{}{}
 	d.graph = nil
 	d.events++
+	n := len(d.dirty)
+	d.mu.Unlock()
 	d.Obs.Counter("stream.events").Inc()
-	d.Obs.Gauge("stream.dirty_users").Set(int64(len(d.dirty)))
+	d.Obs.Gauge("stream.dirty_users").Set(int64(n))
 }
 
 // AddBatch streams a batch of click records.
@@ -108,11 +122,24 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 }
 
 // PendingEvents returns the number of click events streamed since creation.
-func (d *Detector) PendingEvents() int { return d.events }
+func (d *Detector) PendingEvents() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.events
+}
 
 // Graph returns the current aggregated click graph, rebuilding it if the
-// stream advanced. The returned graph must not be mutated.
+// stream advanced. The returned graph must not be mutated; once built it is
+// never modified by the detector (new clicks cause a fresh build), so it
+// stays safe to read concurrently with ingestion.
 func (d *Detector) Graph() *bipartite.Graph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.graphLocked()
+}
+
+// graphLocked rebuilds the aggregated graph if needed; d.mu must be held.
+func (d *Detector) graphLocked() *bipartite.Graph {
 	if d.graph == nil {
 		d.table = d.table.Aggregate()
 		d.graph = d.table.ToGraph()
@@ -125,88 +152,156 @@ func (d *Detector) Graph() *bipartite.Graph {
 // to the neighborhoods of nodes touched since the last call. The very
 // first call (or a call after Reset) is a full detection.
 func (d *Detector) Detect() (*detect.Result, error) {
+	return d.DetectContext(context.Background())
+}
+
+// DetectContext is Detect under a context. The sweep checks ctx at its
+// stage boundaries and inside extraction/screening; a cancelled or
+// deadline-expired sweep returns a non-nil PARTIAL result (Result.Partial,
+// Result.StageReached) with whatever the completed stages produced, plus
+// the context's error. A partial sweep commits nothing: the dirty region
+// and cached groups are left untouched, so the next sweep redoes the work
+// in full. A panicking stage is isolated into a *detect.StageError.
+func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
+
+	// Snapshot: the sweep works on an immutable graph and private copies of
+	// the dirty set and cached groups, so ingestion can proceed during it.
+	d.mu.Lock()
+	g := d.graphLocked()
+	params := d.params
 	full := !d.lastFull
+	dirty := make([]bipartite.NodeID, 0, len(d.dirty))
+	for u := range d.dirty {
+		dirty = append(dirty, u)
+	}
+	cached := append([]detect.Group(nil), d.cached...)
+	d.mu.Unlock()
+
 	sp := d.Obs.Root().Start("stream.sweep")
 	sweepType := "incremental"
 	if full {
 		sweepType = "full"
 	}
 	sp.Set("type", sweepType)
-	sp.SetInt("dirty_users", int64(len(d.dirty)))
+	sp.SetInt("dirty_users", int64(len(dirty)))
 
-	bsp := sp.Start("graph_rebuild")
-	g := d.Graph()
-	bsp.End()
-	hsp := sp.Start("hotset")
-	hot := core.ComputeHotSet(g, d.params.THot)
-	hsp.End()
+	var (
+		groups  []detect.Group
+		reached string
+	)
+	err := detect.RunStage("stream.sweep", func() error {
+		faultinject.Hit("stream.sweep")
+		reached = "hotset"
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hsp := sp.Start("hotset")
+		hot := core.ComputeHotSet(g, params.THot)
+		hsp.End()
 
-	var seeds detect.Seeds
-	if !full {
-		// Seed only dirty users showing the crowd-worker signature: an
-		// edge of weight ≥ T_click to a non-hot item. Every member of a
-		// screenable group satisfies this (the user behavior check
-		// requires it), so filtering cannot lose a detectable group, and
-		// it keeps ordinary background churn from widening the sweep.
-		fsp := sp.Start("seed_filter")
-		for u := range d.dirty {
-			if d.suspiciousUser(g, hot, u) {
-				seeds.Users = append(seeds.Users, u)
+		var seeds detect.Seeds
+		if !full {
+			// Seed only dirty users showing the crowd-worker signature: an
+			// edge of weight ≥ T_click to a non-hot item. Every member of a
+			// screenable group satisfies this (the user behavior check
+			// requires it), so filtering cannot lose a detectable group, and
+			// it keeps ordinary background churn from widening the sweep.
+			fsp := sp.Start("seed_filter")
+			for _, u := range dirty {
+				if suspiciousUser(g, hot, u, params.TClick) {
+					seeds.Users = append(seeds.Users, u)
+				}
+			}
+			fsp.SetInt("seeds", int64(len(seeds.Users)))
+			fsp.End()
+		}
+
+		reached = "extraction"
+		var fresh []detect.Group
+		if full {
+			work := core.GraphGenerator(g, detect.Seeds{})
+			var eerr error
+			fresh, eerr = core.NearBicliqueExtractCtx(ctx, work, params, sp, d.Obs)
+			if eerr != nil {
+				return eerr
+			}
+		} else if len(seeds.Users) > 0 {
+			cap := d.ExpandDegreeCap
+			if cap <= 0 {
+				cap = DefaultExpandCap
+			}
+			gsp := sp.Start("dirty_expand")
+			work := core.GraphGeneratorBounded(g, seeds, cap)
+			gsp.SetInt("scope_users", int64(work.LiveUsers()))
+			gsp.SetInt("scope_items", int64(work.LiveItems()))
+			gsp.End()
+			d.Obs.Gauge("stream.sweep.scope_users").Set(int64(work.LiveUsers()))
+			var eerr error
+			fresh, eerr = core.NearBicliqueExtractCtx(ctx, work, params, sp, d.Obs)
+			if eerr != nil {
+				return eerr
 			}
 		}
-		fsp.SetInt("seeds", int64(len(seeds.Users)))
-		fsp.End()
-	}
 
-	var fresh []detect.Group
-	if full {
-		work := core.GraphGenerator(g, detect.Seeds{})
-		fresh = core.NearBicliqueExtractObserved(work, d.params, sp, d.Obs)
-	} else if len(seeds.Users) > 0 {
-		cap := d.ExpandDegreeCap
-		if cap <= 0 {
-			cap = DefaultExpandCap
+		// Merge candidates: freshly extracted groups around the dirty region
+		// plus the cached groups (monotonicity keeps their extraction
+		// validity; screening below re-judges them against current weights
+		// and hotness).
+		reached = "screening"
+		candidates := append(append([]detect.Group(nil), fresh...), cached...)
+		ssp := sp.Start("screening")
+		var serr error
+		groups, serr = core.ScreenGroupsCtx(ctx, g, candidates, hot, params, ssp, d.Obs)
+		ssp.End()
+		if serr != nil {
+			return serr
 		}
-		gsp := sp.Start("dirty_expand")
-		work := core.GraphGeneratorBounded(g, seeds, cap)
-		gsp.SetInt("scope_users", int64(work.LiveUsers()))
-		gsp.SetInt("scope_items", int64(work.LiveItems()))
-		gsp.End()
-		d.Obs.Gauge("stream.sweep.scope_users").Set(int64(work.LiveUsers()))
-		fresh = core.NearBicliqueExtractObserved(work, d.params, sp, d.Obs)
-	}
-
-	// Merge candidates: freshly extracted groups around the dirty region
-	// plus the cached groups (monotonicity keeps their extraction validity;
-	// screening below re-judges them against current weights and hotness).
-	candidates := append(append([]detect.Group(nil), fresh...), d.cached...)
-	ssp := sp.Start("screening")
-	groups := core.ScreenGroupsObserved(g, candidates, hot, d.params, ssp, d.Obs)
-	ssp.End()
+		reached = ""
+		return nil
+	})
 
 	res := &detect.Result{Groups: groups}
 	res.Elapsed = time.Since(start)
 	res.DetectElapsed = res.Elapsed
 	sp.SetInt("groups", int64(len(groups)))
+	if err != nil {
+		// Graceful degradation: report what completed, commit nothing.
+		res.Partial = true
+		res.StageReached = reached
+		sp.Set("partial", reached)
+		sp.End()
+		d.Obs.Counter("stream.sweeps.aborted").Inc()
+		return res, err
+	}
 	sp.End()
 	d.Obs.Counter("stream.sweeps." + sweepType).Inc()
 	d.Obs.Histogram("stream.sweep." + sweepType).Observe(res.Elapsed)
-	d.Obs.Gauge("stream.dirty_users").Set(0)
 
+	// Commit: clear exactly the snapshotted dirty users — clicks streamed
+	// during the sweep stay dirty for the next one.
+	d.mu.Lock()
 	d.cached = groups
-	d.dirty = map[bipartite.NodeID]struct{}{}
+	for _, u := range dirty {
+		delete(d.dirty, u)
+	}
+	remaining := len(d.dirty)
 	d.lastFull = true
 	d.detections++
+	d.mu.Unlock()
+	d.Obs.Gauge("stream.dirty_users").Set(int64(remaining))
 	return res, nil
 }
 
 // suspiciousUser reports whether u carries the abnormal-click signature of
-// Section IV-A: at least T_click clicks on some ordinary (non-hot) item.
-func (d *Detector) suspiciousUser(g *bipartite.Graph, hot *core.HotSet, u bipartite.NodeID) bool {
+// Section IV-A: at least tClick clicks on some ordinary (non-hot) item.
+func suspiciousUser(g *bipartite.Graph, hot *core.HotSet, u bipartite.NodeID, tClick uint32) bool {
 	found := false
 	g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
-		if w >= d.params.TClick && !hot.IsHot(v) {
+		if w >= tClick && !hot.IsHot(v) {
 			found = true
 			return false
 		}
@@ -219,13 +314,30 @@ func (d *Detector) suspiciousUser(g *bipartite.Graph, hot *core.HotSet, u bipart
 // on the current graph — the reference the incremental result is validated
 // against in tests and benchmarks.
 func (d *Detector) FullDetect() (*detect.Result, error) {
-	det := &core.Detector{Params: d.params, Obs: d.Obs}
-	return det.Detect(d.Graph())
+	return d.FullDetectContext(context.Background())
+}
+
+// FullDetectContext is FullDetect under a context, with the same partial
+// result contract as core.(*Detector).DetectContext.
+func (d *Detector) FullDetectContext(ctx context.Context) (*detect.Result, error) {
+	d.mu.Lock()
+	g := d.graphLocked()
+	params := d.params
+	d.mu.Unlock()
+	det := &core.Detector{Params: params, Obs: d.Obs}
+	return det.DetectContext(ctx, g)
 }
 
 // Reset drops the cached detection state, forcing the next Detect to run
 // fully (for example after a parameter change via Retune).
 func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.resetLocked()
+}
+
+// resetLocked is Reset's body; d.mu must be held.
+func (d *Detector) resetLocked() {
 	d.cached = nil
 	d.lastFull = false
 	d.dirty = map[bipartite.NodeID]struct{}{}
@@ -236,10 +348,16 @@ func (d *Detector) Retune(params core.Params) error {
 	if err := params.Validate(); err != nil {
 		return fmt.Errorf("stream: %w", err)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.params = params
-	d.Reset()
+	d.resetLocked()
 	return nil
 }
 
-// Detections returns how many Detect calls have run.
-func (d *Detector) Detections() int { return d.detections }
+// Detections returns how many Detect calls have completed successfully.
+func (d *Detector) Detections() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.detections
+}

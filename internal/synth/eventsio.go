@@ -3,10 +3,31 @@ package synth
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 )
+
+// parseUint32 parses one uint32 CSV field of the `where` stream (events,
+// labels) with an operator-grade diagnosis: negative values and values past
+// the uint32 range get their own messages instead of strconv's generic ones.
+func parseUint32(where string, line int, name, s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err == nil {
+		return uint32(v), nil
+	}
+	switch {
+	case strings.HasPrefix(strings.TrimSpace(s), "-"):
+		return 0, fmt.Errorf("synth: %s line %d: %s %q is negative (must be a non-negative integer)", where, line, name, s)
+	case errors.Is(err, strconv.ErrRange):
+		return 0, fmt.Errorf("synth: %s line %d: %s %q out of range for uint32 (max %d)", where, line, name, s, uint64(math.MaxUint32))
+	default:
+		return 0, fmt.Errorf("synth: %s line %d: %s %q is not an unsigned integer", where, line, name, s)
+	}
+}
 
 // Event CSV interchange format: header "day,user_id,item_id,click", one
 // event per row, day-ordered. cmd/synthgen can emit it and cmd/stream
@@ -46,6 +67,9 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	cr.ReuseRecord = true
 
 	hdr, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("synth: empty event input: missing header row %q", strings.Join(eventHeader, ","))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("synth: read event header: %w", err)
 	}
@@ -67,25 +91,25 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		}
 		day, err := strconv.Atoi(rec[0])
 		if err != nil || day < 1 {
-			return nil, fmt.Errorf("synth: events line %d: bad day %q", line, rec[0])
+			return nil, fmt.Errorf("synth: events line %d: bad day %q (must be an integer ≥ 1)", line, rec[0])
 		}
 		if day < prevDay {
 			return nil, fmt.Errorf("synth: events line %d: day %d after day %d (stream must be ordered)",
 				line, day, prevDay)
 		}
 		prevDay = day
-		u, err := strconv.ParseUint(rec[1], 10, 32)
+		u, err := parseUint32("events", line, "user_id", rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("synth: events line %d: bad user %q: %w", line, rec[1], err)
+			return nil, err
 		}
-		v, err := strconv.ParseUint(rec[2], 10, 32)
+		v, err := parseUint32("events", line, "item_id", rec[2])
 		if err != nil {
-			return nil, fmt.Errorf("synth: events line %d: bad item %q: %w", line, rec[2], err)
+			return nil, err
 		}
-		c, err := strconv.ParseUint(rec[3], 10, 32)
+		c, err := parseUint32("events", line, "click", rec[3])
 		if err != nil {
-			return nil, fmt.Errorf("synth: events line %d: bad click %q: %w", line, rec[3], err)
+			return nil, err
 		}
-		events = append(events, Event{Day: day, UserID: uint32(u), ItemID: uint32(v), Clicks: uint32(c)})
+		events = append(events, Event{Day: day, UserID: u, ItemID: v, Clicks: c})
 	}
 }

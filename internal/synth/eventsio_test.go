@@ -57,3 +57,25 @@ func TestReadEventsEmpty(t *testing.T) {
 		t.Errorf("got %d events", len(got))
 	}
 }
+
+func TestReadEventsErrorDiagnostics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "missing header row"},
+		{"day,user_id,item_id,click\n1,99999999999,1,1\n", "out of range for uint32"},
+		{"day,user_id,item_id,click\n1,-3,1,1\n", "negative"},
+		{"day,user_id,item_id,click\n1,1,1,x\n", "line 2"},
+	}
+	for _, tc := range cases {
+		_, err := ReadEvents(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("no error for %q", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error for %q = %q, want it to mention %q", tc.in, err, tc.want)
+		}
+	}
+}

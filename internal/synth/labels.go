@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"repro/internal/detect"
 )
@@ -54,6 +55,9 @@ func ReadLabels(r io.Reader) (*detect.Labels, []detect.Group, error) {
 	cr.ReuseRecord = true
 
 	hdr, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil, fmt.Errorf("synth: empty label input: missing header row %q", strings.Join(labelHeader, ","))
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("synth: read label header: %w", err)
 	}
@@ -74,13 +78,13 @@ func ReadLabels(r io.Reader) (*detect.Labels, []detect.Group, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("synth: labels line %d: %w", line, err)
 		}
-		id64, err := strconv.ParseUint(rec[1], 10, 32)
+		id, err := parseUint32("labels", line, "id", rec[1])
 		if err != nil {
-			return nil, nil, fmt.Errorf("synth: labels line %d: bad id %q: %w", line, rec[1], err)
+			return nil, nil, err
 		}
 		gi, err := strconv.Atoi(rec[2])
 		if err != nil || gi < 0 {
-			return nil, nil, fmt.Errorf("synth: labels line %d: bad group %q", line, rec[2])
+			return nil, nil, fmt.Errorf("synth: labels line %d: bad group %q (must be a zero-based group index)", line, rec[2])
 		}
 		grp := groupsByIdx[gi]
 		if grp == nil {
@@ -90,7 +94,6 @@ func ReadLabels(r io.Reader) (*detect.Labels, []detect.Group, error) {
 		if gi > maxIdx {
 			maxIdx = gi
 		}
-		id := uint32(id64)
 		switch rec[0] {
 		case "user":
 			labels.Users[id] = true

@@ -1,0 +1,149 @@
+package fakeclick
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestDetectContextAcceptance is the issue's acceptance criterion: a
+// cancelled DetectContext must return within 100ms of the cancellation
+// with Report.Partial set, and must leak no goroutines.
+func TestDetectContextAcceptance(t *testing.T) {
+	defer faultinject.Reset()
+	g, _ := syntheticGraph(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelledAt time.Time
+	// Cancel mid-pipeline, with a stall behind the checkpoint so the run
+	// would visibly overshoot if cancellation were not honored promptly.
+	faultinject.Arm("core.screening", faultinject.Fault{Do: func() {
+		cancelledAt = time.Now()
+		cancel()
+	}, Times: 1})
+
+	rep, err := DetectContext(ctx, g, smallConfig())
+	latency := time.Since(cancelledAt)
+	if err != nil {
+		t.Fatalf("cancellation must degrade, not fail: %v", err)
+	}
+	if rep == nil || !rep.Partial {
+		t.Fatalf("rep = %+v, want a partial report", rep)
+	}
+	if !errors.Is(rep.Err, context.Canceled) {
+		t.Errorf("rep.Err = %v, want context.Canceled", rep.Err)
+	}
+	if rep.Stage != "screening" {
+		t.Errorf("rep.Stage = %q, want screening", rep.Stage)
+	}
+	if latency > 100*time.Millisecond {
+		t.Errorf("returned %v after cancellation, want ≤ 100ms", latency)
+	}
+
+	// No goroutine may outlive the cancelled run.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines leaked: %d after vs %d before", now, before)
+	}
+}
+
+// TestDetectContextDeadline: an already-expired deadline yields an empty
+// partial report immediately, not an error.
+func TestDetectContextDeadline(t *testing.T) {
+	g, _ := syntheticGraph(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+
+	rep, err := DetectContext(ctx, g, smallConfig())
+	if err != nil {
+		t.Fatalf("deadline expiry must degrade, not fail: %v", err)
+	}
+	if !rep.Partial || !errors.Is(rep.Err, context.DeadlineExceeded) {
+		t.Errorf("rep.Partial=%v rep.Err=%v, want partial with DeadlineExceeded", rep.Partial, rep.Err)
+	}
+	if len(rep.Groups) != 0 {
+		t.Errorf("nothing ran, yet report has %d groups", len(rep.Groups))
+	}
+}
+
+// TestDetectContextStagePanicSurfacesAsStageError: an injected stage panic
+// comes back as a *StageError alongside the partial report — the process
+// must not crash.
+func TestDetectContextStagePanicSurfacesAsStageError(t *testing.T) {
+	defer faultinject.Reset()
+	g, _ := syntheticGraph(t)
+	faultinject.Arm("core.extraction", faultinject.Fault{Panic: "injected", Times: 1})
+
+	rep, err := DetectContext(context.Background(), g, smallConfig())
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *fakeclick.StageError", err)
+	}
+	if se.Stage != "extraction" {
+		t.Errorf("se.Stage = %q, want extraction", se.Stage)
+	}
+	if rep == nil || !rep.Partial {
+		t.Error("stage panic did not yield a partial report")
+	}
+}
+
+// TestSweepContextCancellation: the streaming facade shares the contract —
+// partial report, nil error, nothing committed.
+func TestSweepContextCancellation(t *testing.T) {
+	defer faultinject.Reset()
+	g, _ := syntheticGraph(t)
+	sd, err := NewStreamDetector(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm("stream.sweep", faultinject.Fault{Do: cancel, Times: 1})
+
+	rep, err := sd.SweepContext(ctx)
+	if err != nil {
+		t.Fatalf("cancelled sweep must degrade, not fail: %v", err)
+	}
+	if !rep.Partial || !errors.Is(rep.Err, context.Canceled) {
+		t.Errorf("rep.Partial=%v rep.Err=%v, want partial with context.Canceled", rep.Partial, rep.Err)
+	}
+
+	// The cancelled sweep committed nothing; an unhindered retry succeeds.
+	rep2, err := sd.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Partial {
+		t.Error("retry after cancelled sweep still partial")
+	}
+	if len(rep2.Groups) == 0 {
+		t.Error("retry found no groups on a dataset with implanted attacks")
+	}
+}
+
+// TestPartialSummaryMentionsInterruption: the human-readable digest warns
+// when its numbers come from a cut-short run.
+func TestPartialSummaryMentionsInterruption(t *testing.T) {
+	g, _ := syntheticGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := DetectContext(ctx, g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "PARTIAL") {
+		t.Errorf("Summary() of a partial report lacks the PARTIAL banner:\n%s", sum)
+	}
+}

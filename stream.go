@@ -1,6 +1,8 @@
 package fakeclick
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bipartite"
@@ -17,7 +19,10 @@ import (
 // them several times cheaper than batch detection (see
 // BenchmarkIncrementalVsFull).
 //
-// Not safe for concurrent use.
+// Ingestion and sweeping are safe to run concurrently: AddClicks may race
+// with an in-flight Sweep/SweepContext, which works on a consistent
+// snapshot; clicks streamed during a sweep land in the next one. Running
+// multiple sweeps concurrently is not supported.
 type StreamDetector struct {
 	inner *stream.Detector
 	obs   *obs.Observer
@@ -56,20 +61,49 @@ func (s *StreamDetector) AddClicks(user, item, clicks uint32) {
 // Sweep runs one detection sweep (incremental after the first) and returns
 // the current report.
 func (s *StreamDetector) Sweep() (*Report, error) {
-	res, err := s.inner.Detect()
-	if err != nil {
-		return nil, fmt.Errorf("fakeclick: %w", err)
-	}
-	return s.report(res), nil
+	return s.SweepContext(context.Background())
+}
+
+// SweepContext is Sweep under a context. A cancelled or deadline-expired
+// sweep returns a non-nil PARTIAL report (Report.Partial, Report.Stage,
+// Report.Err — same contract as DetectContext) and commits nothing: the
+// dirty region and cached groups are untouched, so the next sweep redoes
+// the work in full. A stage panic is isolated into a *StageError.
+func (s *StreamDetector) SweepContext(ctx context.Context) (*Report, error) {
+	res, err := s.inner.DetectContext(ctx)
+	return s.finish(res, err)
 }
 
 // FullSweep forces a from-scratch batch detection.
 func (s *StreamDetector) FullSweep() (*Report, error) {
-	res, err := s.inner.FullDetect()
-	if err != nil {
+	return s.FullSweepContext(context.Background())
+}
+
+// FullSweepContext is FullSweep under a context, with SweepContext's
+// partial-report contract.
+func (s *StreamDetector) FullSweepContext(ctx context.Context) (*Report, error) {
+	res, err := s.inner.FullDetectContext(ctx)
+	return s.finish(res, err)
+}
+
+// finish applies the facade's graceful-degradation contract to a sweep
+// outcome (see finishReport).
+func (s *StreamDetector) finish(res *detect.Result, err error) (*Report, error) {
+	if err == nil {
+		return s.report(res), nil
+	}
+	if res == nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
-	return s.report(res), nil
+	rep := s.report(res)
+	rep.Partial = true
+	rep.Stage = res.StageReached
+	rep.Err = err
+	var se *StageError
+	if errors.As(err, &se) {
+		return rep, fmt.Errorf("fakeclick: %w", err)
+	}
+	return rep, nil
 }
 
 func (s *StreamDetector) report(res *detect.Result) *Report {
