@@ -203,7 +203,11 @@ type StageError = detect.StageError
 func (r *Report) Summary() string {
 	var b strings.Builder
 	if r.Partial {
-		fmt.Fprintf(&b, "PARTIAL result — run interrupted during %q: %v\n", r.Stage, r.Err)
+		if r.Stage != "" {
+			fmt.Fprintf(&b, "PARTIAL result — run interrupted during %q: %v\n", r.Stage, r.Err)
+		} else {
+			fmt.Fprintf(&b, "PARTIAL result — run interrupted: %v\n", r.Err)
+		}
 	}
 	fmt.Fprintf(&b, "detected %d attack group(s): %d suspicious accounts, %d suspicious items "+
 		"(T_hot=%d, T_click=%d, %v)\n",

@@ -139,11 +139,15 @@ func DetectWithFeedbackObserved(g *bipartite.Graph, p Params, expectation, maxIt
 // the budget covers the WHOLE loop, not one run. ctx is checked before
 // every iteration (fault-injection site "core.feedback.round") and inside
 // each detection run. When the budget expires mid-loop the best result so
-// far is returned — complete if an earlier iteration finished, partial if
-// the interrupted run was the first — together with the context's error,
-// so a widened re-run that overruns still yields the narrower sweep's
-// findings. A stage panic inside a run aborts the loop with its
-// *detect.StageError and the same best-so-far result.
+// far is returned — the last complete iteration's groups when one
+// finished, else the interrupted run's partial output — together with the
+// context's error, so a widened re-run that overruns still yields the
+// narrower sweep's findings. When a complete iteration's output stands in
+// for the interrupted loop its Partial flag stays false (the groups ARE
+// complete) but StageReached is stamped "feedback", so reports built from
+// the (result, ctx error) pair can name the stage that was cut short. A
+// stage panic inside a run aborts the loop with its *detect.StageError and
+// the same best-so-far result.
 func DetectWithFeedbackContext(ctx context.Context, g *bipartite.Graph, p Params,
 	expectation, maxIters int, o *obs.Observer) (FeedbackResult, error) {
 
@@ -165,6 +169,7 @@ func DetectWithFeedbackContext(ctx context.Context, g *bipartite.Graph, p Params
 				fr.Result = &detect.Result{Partial: true, StageReached: "feedback"}
 			} else {
 				fr.Params = lastGood
+				stampFeedbackStage(fr.Result)
 			}
 			return fr, err
 		}
@@ -177,6 +182,7 @@ func DetectWithFeedbackContext(ctx context.Context, g *bipartite.Graph, p Params
 				fr.Result = res
 			} else {
 				fr.Params = lastGood
+				stampFeedbackStage(fr.Result)
 			}
 			fr.Iterations = i + 1
 			return fr, err
@@ -195,6 +201,17 @@ func DetectWithFeedbackContext(ctx context.Context, g *bipartite.Graph, p Params
 		fr.Params = relaxed
 	}
 	return fr, nil
+}
+
+// stampFeedbackStage tags a COMPLETE iteration's result that is standing
+// in for an interrupted feedback loop. Its groups are intact — Partial
+// stays false — but the loop around it was cut short, so reports built
+// from the (result, ctx error) pair need a non-empty stage name for the
+// interruption: "feedback", the loop itself.
+func stampFeedbackStage(res *detect.Result) {
+	if res.StageReached == "" {
+		res.StageReached = "feedback"
+	}
 }
 
 // relax loosens parameters one notch; it returns ok=false once every knob

@@ -118,3 +118,15 @@ func (e *Engine) mergeAggregators() {
 		st.current = v
 	}
 }
+
+// discardAggregatorPartials resets worker partials WITHOUT publishing them
+// — the barrier action for a panicked or cancelled superstep, whose
+// half-computed contributions must neither surface via AggregatorValue nor
+// bleed into a later run on this engine.
+func (e *Engine) discardAggregatorPartials() {
+	for _, st := range e.aggregators {
+		for i := range st.partials {
+			st.partials[i] = st.def.Identity
+		}
+	}
+}

@@ -157,8 +157,11 @@ func (e *Engine) Run(p Program, maxSupersteps int) int {
 // superstep (fault-injection site "engine.superstep") and the workers poll
 // it every few hundred vertices, stop computing, and drain cleanly through
 // the usual barrier — no goroutine is leaked, and the engine is left at a
-// superstep boundary. A cancelled run returns the superstep count reached
-// and the context's error.
+// superstep boundary. A round cut short mid-superstep is discarded whole:
+// its half-built outboxes are never routed, EndSuperstep does not run on
+// its partial state, and its aggregator contributions are dropped. A
+// cancelled run returns the superstep count reached and the context's
+// error.
 //
 // A panic in a vertex program (fault-injection site "engine.worker") no
 // longer kills the process: each worker recovers it, the barrier still
@@ -193,9 +196,17 @@ func (e *Engine) RunContext(ctx context.Context, p Program, maxSupersteps int) (
 			ssp.SetInt("active", int64(e.activeCount()))
 		}
 		more, delivered, err := e.superstep(ctx, p, step)
-		e.mergeAggregators()
-		if ender != nil && err == nil {
-			ender.EndSuperstep(step)
+		if err != nil {
+			// The aborted round is discarded whole: superstep already
+			// dropped its outboxes and mailboxes; drop its aggregator
+			// contributions too and skip EndSuperstep so the program never
+			// observes half-computed state.
+			e.discardAggregatorPartials()
+		} else {
+			e.mergeAggregators()
+			if ender != nil {
+				ender.EndSuperstep(step)
+			}
 		}
 		ssp.SetInt("messages_routed", int64(delivered))
 		ssp.End()
@@ -242,7 +253,10 @@ func (e *Engine) activeCount() int {
 // and how many messages were routed at the barrier. Workers poll ctx every
 // 256 vertices and recover program panics; the barrier always joins every
 // worker before the first recovered panic is returned as a StageError, so
-// an aborted superstep leaves no goroutine behind.
+// an aborted superstep leaves no goroutine behind. A round aborted by a
+// panic OR a mid-round cancel drops its half-built outboxes and the
+// engine's mailboxes instead of routing them, so the partial round cannot
+// leak into the caller's barrier hooks or into a later run on this engine.
 func (e *Engine) superstep(ctx context.Context, p Program, step int) (more bool, delivered int, err error) {
 	var (
 		wg       sync.WaitGroup
@@ -277,14 +291,14 @@ func (e *Engine) superstep(ctx context.Context, p Program, step int) (more bool,
 	}
 	wg.Wait()
 	if len(panicked) > 0 {
-		// Drop the aborted superstep's half-built outboxes so a later run
-		// on this engine does not replay them.
-		for _, src := range e.workers {
-			for i := range src.outbox {
-				src.outbox[i] = nil
-			}
-		}
+		e.dropAbortedRound()
 		return false, 0, &detect.StageError{Stage: "engine.superstep", Panic: panicked[0]}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The workers bailed mid-round; surface the cancel at this barrier
+		// rather than routing a half-computed round to the next superstep.
+		e.dropAbortedRound()
+		return false, 0, cerr
 	}
 
 	// Barrier: route outboxes into mailboxes for the next superstep.
@@ -311,6 +325,21 @@ func (e *Engine) superstep(ctx context.Context, p Program, step int) (more bool,
 		}
 	}
 	return false, delivered, nil
+}
+
+// dropAbortedRound clears the half-built outboxes AND the current
+// mailboxes after a panicked or cancelled superstep, so neither the rest
+// of this run nor a later run on the same engine replays state from the
+// aborted round.
+func (e *Engine) dropAbortedRound() {
+	for _, src := range e.workers {
+		for i := range src.outbox {
+			src.outbox[i] = nil
+		}
+	}
+	for v := range e.mailboxes {
+		e.mailboxes[v] = nil
+	}
 }
 
 // GraphAdapter maps a bipartite graph into the engine's unified vertex ID

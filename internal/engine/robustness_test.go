@@ -126,3 +126,48 @@ func waitForGoroutines(t *testing.T, baseline int) {
 	}
 	t.Errorf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), baseline)
 }
+
+// TestRunContextCancelMidSuperstepDiscardsRound: a cancel landing while
+// workers are computing surfaces at that round's barrier — the half-built
+// outboxes are never routed, the mailboxes are cleared, and EndSuperstep
+// does not run on the partial round.
+func TestRunContextCancelMidSuperstepDiscardsRound(t *testing.T) {
+	defer faultinject.Reset()
+	g := pathGraph()
+	a := NewGraphAdapter(g)
+	e, _ := New(a.NumVertices(), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The engine.worker site fires inside the worker goroutines, after the
+	// loop-top ctx check has already passed for this round.
+	faultinject.Arm("engine.worker", faultinject.Fault{Do: cancel, Times: 1})
+
+	p := &endRecordingProgram{chattyProgram: chattyProgram{adapter: a}}
+	_, err := e.RunContext(ctx, p, 100)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if p.ends != 0 {
+		t.Errorf("EndSuperstep ran %d times on the aborted round's partial state", p.ends)
+	}
+	for v := range e.mailboxes {
+		if len(e.mailboxes[v]) != 0 {
+			t.Fatalf("mailbox %d kept the aborted round's messages", v)
+		}
+	}
+	for _, w := range e.workers {
+		for i := range w.outbox {
+			if len(w.outbox[i]) != 0 {
+				t.Fatalf("worker %d outbox %d survived the abort", w.id, i)
+			}
+		}
+	}
+}
+
+// endRecordingProgram counts EndSuperstep barrier callbacks.
+type endRecordingProgram struct {
+	chattyProgram
+	ends int
+}
+
+func (p *endRecordingProgram) EndSuperstep(int) { p.ends++ }

@@ -160,3 +160,67 @@ func TestConcurrentIngestWithCancelledSweeps(t *testing.T) {
 		t.Error("no groups found after cancelled-sweep churn")
 	}
 }
+
+// TestMidSweepClickOnSnapshottedUserStaysDirty: a click streamed DURING a
+// sweep for a user that sweep already snapshotted was taken on a graph the
+// sweep cannot see, so the commit must leave the user dirty for the next
+// sweep (regression: the commit used to delete exactly the snapshotted
+// users, silently un-marking the mid-sweep click forever).
+func TestMidSweepClickOnSnapshottedUserStaysDirty(t *testing.T) {
+	defer faultinject.Reset()
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d, err := New(ds.Table, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(); err != nil { // full sweep; retires all dirty users
+		t.Fatal(err)
+	}
+
+	d.AddClick(1, 2, 3) // user 1 joins the next sweep's snapshot
+	// The stream.sweep site fires after the snapshot is taken: this click
+	// races the in-flight sweep, exactly the advertised ingestion pattern.
+	faultinject.Arm("stream.sweep", faultinject.Fault{Do: func() {
+		d.AddClick(1, 2, 4)
+	}, Times: 1})
+	if _, err := d.Detect(); err != nil {
+		t.Fatal(err)
+	}
+
+	d.mu.Lock()
+	_, stillDirty := d.dirty[1]
+	d.mu.Unlock()
+	if !stillDirty {
+		t.Fatal("mid-sweep click for a snapshotted user was un-marked by the commit; the next sweep will never examine it")
+	}
+}
+
+// TestAbortedSweepRestoresDirtySet: an aborted sweep owns its dirty
+// snapshot, so the abort path must merge it back — losing it would shrink
+// the next sweep's scope below what correctness requires.
+func TestAbortedSweepRestoresDirtySet(t *testing.T) {
+	defer faultinject.Reset()
+	ds := synth.MustGenerate(synth.SmallConfig())
+	d, err := New(ds.Table, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(); err != nil {
+		t.Fatal(err)
+	}
+
+	d.AddClick(7, 3, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm("stream.sweep", faultinject.Fault{Do: cancel, Times: 1})
+	if _, err := d.DetectContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	d.mu.Lock()
+	_, stillDirty := d.dirty[7]
+	d.mu.Unlock()
+	if !stillDirty {
+		t.Fatal("aborted sweep dropped its dirty snapshot instead of merging it back")
+	}
+}

@@ -159,9 +159,10 @@ func (d *Detector) Detect() (*detect.Result, error) {
 // stage boundaries and inside extraction/screening; a cancelled or
 // deadline-expired sweep returns a non-nil PARTIAL result (Result.Partial,
 // Result.StageReached) with whatever the completed stages produced, plus
-// the context's error. A partial sweep commits nothing: the dirty region
-// and cached groups are left untouched, so the next sweep redoes the work
-// in full. A panicking stage is isolated into a *detect.StageError.
+// the context's error. A partial sweep commits nothing: the snapshotted
+// dirty region is merged back and the cached groups are left untouched, so
+// the next sweep redoes the work in full. A panicking stage is isolated
+// into a *detect.StageError.
 func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -170,12 +171,19 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 
 	// Snapshot: the sweep works on an immutable graph and private copies of
 	// the dirty set and cached groups, so ingestion can proceed during it.
+	// The sweep takes OWNERSHIP of the dirty map — mid-sweep AddClick marks
+	// users in a fresh map, so a click for an already-snapshotted user
+	// (streamed after the snapshot, hence invisible to this sweep's graph)
+	// stays dirty for the next sweep instead of being un-marked by the
+	// commit below.
 	d.mu.Lock()
 	g := d.graphLocked()
 	params := d.params
 	full := !d.lastFull
-	dirty := make([]bipartite.NodeID, 0, len(d.dirty))
-	for u := range d.dirty {
+	snap := d.dirty
+	d.dirty = map[bipartite.NodeID]struct{}{}
+	dirty := make([]bipartite.NodeID, 0, len(snap))
+	for u := range snap {
 		dirty = append(dirty, u)
 	}
 	cached := append([]detect.Group(nil), d.cached...)
@@ -269,25 +277,34 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	res.DetectElapsed = res.Elapsed
 	sp.SetInt("groups", int64(len(groups)))
 	if err != nil {
-		// Graceful degradation: report what completed, commit nothing.
+		// Graceful degradation: report what completed, commit nothing. The
+		// snapshotted dirty users merge back into the live set (which may
+		// have gained mid-sweep users) so the next sweep redoes this one's
+		// work.
+		d.mu.Lock()
+		for u := range snap {
+			d.dirty[u] = struct{}{}
+		}
+		remaining := len(d.dirty)
+		d.mu.Unlock()
 		res.Partial = true
 		res.StageReached = reached
 		sp.Set("partial", reached)
 		sp.End()
 		d.Obs.Counter("stream.sweeps.aborted").Inc()
+		d.Obs.Gauge("stream.dirty_users").Set(int64(remaining))
 		return res, err
 	}
 	sp.End()
 	d.Obs.Counter("stream.sweeps." + sweepType).Inc()
 	d.Obs.Histogram("stream.sweep." + sweepType).Observe(res.Elapsed)
 
-	// Commit: clear exactly the snapshotted dirty users — clicks streamed
-	// during the sweep stay dirty for the next one.
+	// Commit: the sweep owned its dirty snapshot, so only the users whose
+	// clicks this sweep actually examined are retired; clicks streamed
+	// during the sweep are already accumulating in the live map for the
+	// next one.
 	d.mu.Lock()
 	d.cached = groups
-	for _, u := range dirty {
-		delete(d.dirty, u)
-	}
 	remaining := len(d.dirty)
 	d.lastFull = true
 	d.detections++

@@ -147,3 +147,35 @@ func TestPartialSummaryMentionsInterruption(t *testing.T) {
 		t.Errorf("Summary() of a partial report lacks the PARTIAL banner:\n%s", sum)
 	}
 }
+
+// TestFeedbackCancellationReportNamesStage: cancelling the feedback loop
+// after a complete iteration keeps that iteration's groups, and the report
+// still names the interrupted stage ("feedback") — the Summary must never
+// read `interrupted during ""`.
+func TestFeedbackCancellationReportNamesStage(t *testing.T) {
+	defer faultinject.Reset()
+	g, _ := syntheticGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	faultinject.Arm("core.feedback.round", faultinject.Fault{Do: func() {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+	}})
+
+	rep, err := DetectWithExpectationContext(ctx, g, smallConfig(), 1<<30, 10)
+	if err != nil {
+		t.Fatalf("pure cancellation must degrade, not fail: %v", err)
+	}
+	if rep == nil || !rep.Partial {
+		t.Fatalf("rep = %+v, want a partial report", rep)
+	}
+	if rep.Stage != "feedback" {
+		t.Errorf("Stage = %q, want \"feedback\"", rep.Stage)
+	}
+	if sum := rep.Summary(); strings.Contains(sum, `during ""`) {
+		t.Errorf("Summary names an empty stage:\n%s", sum)
+	}
+}
