@@ -8,6 +8,7 @@ package fakeclick_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -238,6 +239,43 @@ func BenchmarkSquarePruningWorkers(b *testing.B) {
 				g := ds.Graph.Clone()
 				core.Prune(g, p)
 			}
+		})
+	}
+}
+
+// BenchmarkDetectSharded measures the component-sharded detection pipeline
+// end to end (prune → shard plan → per-component square pruning/extraction →
+// deterministic merge → screening) across worker counts, against the
+// single-goroutine reference path (Params.NoShard) as the oracle baseline.
+// The JSON panel in bench_parallel_test.go re-runs this matrix for
+// BENCH_parallel.json.
+func BenchmarkDetectSharded(b *testing.B) {
+	ds := benchDataset(b)
+	run := func(b *testing.B, p core.Params) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := &core.Detector{Params: p}
+			if _, err := d.Detect(ds.Graph); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial-oracle", func(b *testing.B) {
+		p := core.DefaultParams()
+		p.NoShard = true
+		run(b, p)
+	})
+	seen := make(map[int]bool)
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			p := core.DefaultParams()
+			p.Workers = workers
+			run(b, p)
 		})
 	}
 }

@@ -72,6 +72,8 @@ func run() int {
 		traceTree = flag.Bool("trace-tree", false, "print the human-readable stage tree after the run")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run; on expiry partial results are printed and the exit status is 2")
+		workers   = flag.Int("workers", 0, "worker goroutines for the sharded detection pipeline (0 = GOMAXPROCS)")
+		serial    = flag.Bool("serial", false, "run the single-goroutine reference pipeline instead of the sharded one (identical output)")
 	)
 	flag.Parse()
 	if *listAlgos {
@@ -124,6 +126,8 @@ func run() int {
 		THot:          *thot,
 		TClick:        uint32(*tclick),
 		SkipScreening: *raw,
+		Workers:       *workers,
+		Serial:        *serial,
 		Observer:      observer,
 	}
 	var parseErr error

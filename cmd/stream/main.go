@@ -56,6 +56,7 @@ func run() int {
 		traceTree  = flag.Bool("trace-tree", false, "print the human-readable stage tree after the replay")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole replay; on expiry the exit status is 2")
+		workers    = flag.Int("workers", 0, "worker goroutines for the sharded sweep pipeline (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *eventsPath == "" {
@@ -99,6 +100,7 @@ func run() int {
 	params.Alpha = *alpha
 	params.THot = *thot
 	params.TClick = uint32(*tclick)
+	params.Workers = *workers
 
 	det, err := stream.New(nil, params)
 	if err != nil {

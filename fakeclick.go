@@ -114,9 +114,16 @@ type Config struct {
 	// neighborhoods of known-bad nodes.
 	SeedUsers []uint32
 	SeedItems []uint32
-	// Workers bounds the parallelism of the pruning stages; 0 uses
+	// Workers bounds the parallelism of the sharded detection pipeline
+	// (component shard pool, square-pruning rounds, screening); 0 uses
 	// GOMAXPROCS.
 	Workers int
+	// Serial disables the component-sharded parallel orchestration and
+	// runs the monolithic single-goroutine reference pipeline instead.
+	// Output is identical either way (the sharded path is validated
+	// against the serial one group-for-group and score-for-score); Serial
+	// exists as the oracle switch for that validation and for debugging.
+	Serial bool
 	// Observer, when non-nil, receives the run's stage trace (per-phase
 	// spans mirroring the paper's Fig 8b split) and pipeline metrics; the
 	// trace is echoed on Report.Trace. Construct one with
@@ -326,6 +333,7 @@ func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
 	params.K1, params.K2 = cfg.K1, cfg.K2
 	params.Alpha = cfg.Alpha
 	params.Workers = cfg.Workers
+	params.NoShard = cfg.Serial
 	if cfg.THot != 0 || cfg.TClick != 0 {
 		params.THot = cfg.THot
 		params.TClick = cfg.TClick

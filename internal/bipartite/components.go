@@ -75,3 +75,61 @@ func ConnectedComponents(g *Graph) []Component {
 	sort.SliceStable(comps, func(i, j int) bool { return comps[i].Size() > comps[j].Size() })
 	return comps
 }
+
+// CompactComponent builds a standalone compact graph containing exactly the
+// vertices of comp, which must be closed under live adjacency in g — e.g. an
+// element of ConnectedComponents(g). It returns the compact graph and the
+// local→original ID mappings for both sides.
+//
+// Local IDs are assigned by position in comp.Users/comp.Items (both sorted
+// ascending), so userOf and itemOf are strictly increasing: ID comparisons,
+// and therefore every ID-ordered traversal, agree between the compact graph
+// and g. Unlike Compact, no Builder round-trip and no whole-graph scan is
+// involved — the cost is proportional to the component alone, which is what
+// the sharded pruning path relies on.
+func CompactComponent(g *Graph, comp Component) (c *Graph, userOf, itemOf []NodeID) {
+	userOf, itemOf = comp.Users, comp.Items
+	localU := make(map[NodeID]NodeID, len(userOf))
+	localV := make(map[NodeID]NodeID, len(itemOf))
+	for i, u := range userOf {
+		localU[u] = NodeID(i)
+	}
+	for i, v := range itemOf {
+		localV[v] = NodeID(i)
+	}
+
+	c = NewGraph(len(userOf), len(itemOf))
+	for lu, u := range userOf {
+		arcs := make([]Arc, 0, g.UserDegree(u))
+		g.EachUserNeighbor(u, func(v NodeID, w uint32) bool {
+			lv, ok := localV[v]
+			if !ok {
+				panic("bipartite: CompactComponent: neighbor outside component")
+			}
+			// EachUserNeighbor ascends by original item ID and localV is
+			// monotone, so arcs stay sorted by To.
+			arcs = append(arcs, Arc{To: lv, Weight: w})
+			c.uStrength[lu] += uint64(w)
+			c.vStrength[lv] += uint64(w)
+			c.vDeg[lv]++
+			c.liveEdges++
+			c.liveClick += uint64(w)
+			return true
+		})
+		c.uAdj[lu] = arcs
+		c.uDeg[lu] = int32(len(arcs))
+	}
+	for lv, v := range itemOf {
+		arcs := make([]Arc, 0, c.vDeg[lv])
+		g.EachItemNeighbor(v, func(u NodeID, w uint32) bool {
+			lu, ok := localU[u]
+			if !ok {
+				panic("bipartite: CompactComponent: neighbor outside component")
+			}
+			arcs = append(arcs, Arc{To: lu, Weight: w})
+			return true
+		})
+		c.vAdj[lv] = arcs
+	}
+	return c, userOf, itemOf
+}

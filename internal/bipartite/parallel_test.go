@@ -1,0 +1,183 @@
+package bipartite
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomEdges returns a seeded multiset of edges with deliberate duplicates,
+// so duplicate-merging is exercised on every run.
+func randomEdges(seed int64, n, users, items int) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{
+			U:      NodeID(rng.Intn(users)),
+			V:      NodeID(rng.Intn(items)),
+			Weight: uint32(1 + rng.Intn(9)),
+		})
+	}
+	return edges
+}
+
+// graphsEqual compares every observable of two graphs: sizes, totals,
+// degrees, strengths, and both adjacency directions including weights.
+func graphsEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumUsers() != want.NumUsers() || got.NumItems() != want.NumItems() {
+		t.Fatalf("sizes %d/%d, want %d/%d", got.NumUsers(), got.NumItems(), want.NumUsers(), want.NumItems())
+	}
+	if got.LiveEdges() != want.LiveEdges() || got.LiveClicks() != want.LiveClicks() {
+		t.Fatalf("edges/clicks %d/%d, want %d/%d", got.LiveEdges(), got.LiveClicks(), want.LiveEdges(), want.LiveClicks())
+	}
+	for u := 0; u < want.NumUsers(); u++ {
+		id := NodeID(u)
+		if got.UserDegree(id) != want.UserDegree(id) || got.UserStrength(id) != want.UserStrength(id) {
+			t.Fatalf("user %d degree/strength diverge", u)
+		}
+		if !reflect.DeepEqual(got.UserNeighbors(id), want.UserNeighbors(id)) {
+			t.Fatalf("user %d adjacency diverges:\n got %v\nwant %v", u, got.UserNeighbors(id), want.UserNeighbors(id))
+		}
+	}
+	for v := 0; v < want.NumItems(); v++ {
+		id := NodeID(v)
+		if got.ItemDegree(id) != want.ItemDegree(id) || got.ItemStrength(id) != want.ItemStrength(id) {
+			t.Fatalf("item %d degree/strength diverge", v)
+		}
+		if !reflect.DeepEqual(got.ItemNeighbors(id), want.ItemNeighbors(id)) {
+			t.Fatalf("item %d adjacency diverges:\n got %v\nwant %v", v, got.ItemNeighbors(id), want.ItemNeighbors(id))
+		}
+	}
+}
+
+func TestBuildWorkersMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42} {
+		edges := randomEdges(seed, 30000, 900, 250)
+
+		ref := NewBuilder(0, 0)
+		ref.AddEdges(edges)
+		want := ref.BuildSerial()
+
+		for _, w := range []int{2, 3, 8} {
+			b := NewBuilder(0, 0)
+			b.AddEdges(edges)
+			got := b.BuildWorkers(w)
+			graphsEqual(t, got, want)
+		}
+	}
+}
+
+func TestBuildWorkersSmallInputFallsBackToSerial(t *testing.T) {
+	// Below the parallel grain the same builder must still produce the
+	// reference graph (the fallback path), including edge cases: empty and
+	// all-duplicates inputs.
+	b := NewBuilder(0, 0)
+	if g := b.BuildWorkers(8); g.LiveEdges() != 0 {
+		t.Fatalf("empty build has %d edges", g.LiveEdges())
+	}
+	b = NewBuilder(0, 0)
+	for i := 0; i < 100; i++ {
+		b.Add(3, 5, 2)
+	}
+	g := b.BuildWorkers(8)
+	if g.LiveEdges() != 1 || g.Weight(3, 5) != 200 {
+		t.Fatalf("duplicate merge: edges=%d w=%d, want 1/200", g.LiveEdges(), g.Weight(3, 5))
+	}
+}
+
+func TestCompactComponentPreservesStructure(t *testing.T) {
+	// Two separated blocks plus noise; prune one user so liveness filtering
+	// is exercised, then compact each component and verify it mirrors the
+	// original component exactly under the ID mappings.
+	b := NewBuilder(0, 0)
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			b.Add(NodeID(u), NodeID(v), uint32(1+u+v))
+		}
+	}
+	for u := 20; u < 26; u++ {
+		for v := 30; v < 35; v++ {
+			b.Add(NodeID(u), NodeID(v), 3)
+		}
+	}
+	g := b.Build()
+	g.RemoveUser(7)
+	g.RemoveItem(2)
+
+	comps := ConnectedComponents(g)
+	var nonTrivial int
+	for _, comp := range comps {
+		if len(comp.Users) == 0 {
+			continue
+		}
+		nonTrivial++
+		c, userOf, itemOf := CompactComponent(g, comp)
+		if c.NumUsers() != len(comp.Users) || c.NumItems() != len(comp.Items) {
+			t.Fatalf("compact sizes %d/%d, want %d/%d", c.NumUsers(), c.NumItems(), len(comp.Users), len(comp.Items))
+		}
+		totalEdges := 0
+		for lu, u := range userOf {
+			if c.UserDegree(NodeID(lu)) != g.UserDegree(u) {
+				t.Fatalf("user %d compact degree %d, original %d", u, c.UserDegree(NodeID(lu)), g.UserDegree(u))
+			}
+			if c.UserStrength(NodeID(lu)) != g.UserStrength(u) {
+				t.Fatalf("user %d strength diverges", u)
+			}
+			got := c.UserNeighbors(NodeID(lu))
+			want := g.UserNeighbors(u)
+			if len(got) != len(want) {
+				t.Fatalf("user %d adjacency length diverges", u)
+			}
+			for i := range got {
+				if itemOf[got[i].To] != want[i].To || got[i].Weight != want[i].Weight {
+					t.Fatalf("user %d arc %d maps to (%d,%d), want (%d,%d)",
+						u, i, itemOf[got[i].To], got[i].Weight, want[i].To, want[i].Weight)
+				}
+			}
+			totalEdges += len(got)
+		}
+		for lv, v := range itemOf {
+			if c.ItemDegree(NodeID(lv)) != g.ItemDegree(v) || c.ItemStrength(NodeID(lv)) != g.ItemStrength(v) {
+				t.Fatalf("item %d degree/strength diverge", v)
+			}
+			got := c.ItemNeighbors(NodeID(lv))
+			want := g.ItemNeighbors(v)
+			for i := range got {
+				if userOf[got[i].To] != want[i].To || got[i].Weight != want[i].Weight {
+					t.Fatalf("item %d adjacency diverges", v)
+				}
+			}
+		}
+		if totalEdges != c.LiveEdges() {
+			t.Fatalf("edge total %d, graph reports %d", totalEdges, c.LiveEdges())
+		}
+	}
+	if nonTrivial < 2 {
+		t.Fatalf("expected ≥ 2 user-bearing components, got %d", nonTrivial)
+	}
+}
+
+func TestCompactComponentAgreesWithCompact(t *testing.T) {
+	// On a single-component graph, CompactComponent must reproduce the
+	// Builder-based Compact exactly.
+	b := NewBuilder(0, 0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 400; i++ {
+		b.Add(NodeID(rng.Intn(15)), NodeID(rng.Intn(12)), uint32(1+rng.Intn(4)))
+	}
+	g := b.Build()
+	g.RemoveUser(3)
+	g.RemoveItem(8)
+
+	comps := ConnectedComponents(g)
+	if len(comps) != 1 {
+		t.Skipf("graph split into %d components; test wants 1", len(comps))
+	}
+	want, wantUsers, wantItems := Compact(g)
+	got, gotUsers, gotItems := CompactComponent(g, comps[0])
+	if !reflect.DeepEqual(gotUsers, wantUsers) || !reflect.DeepEqual(gotItems, wantItems) {
+		t.Fatal("ID mappings diverge from Compact")
+	}
+	graphsEqual(t, got, want)
+}

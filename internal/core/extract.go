@@ -149,8 +149,19 @@ func NearBicliqueExtractObserved(work *bipartite.Graph, p Params, sp *obs.Span, 
 func NearBicliqueExtractCtx(ctx context.Context, work *bipartite.Graph, p Params,
 	sp *obs.Span, o *obs.Observer) ([]detect.Group, error) {
 
+	sharded := p.sharded()
 	psp := sp.Start("prune")
-	st, err := PruneCtx(ctx, work, p, psp)
+	var st PruneStats
+	var groups []detect.Group
+	var err error
+	if sharded {
+		// The sharded orchestration prunes and extracts per component in
+		// one pass, so the groups come back already merged in serial order.
+		psp.Set("mode", "sharded")
+		st, groups, err = shardedPruneExtract(ctx, work, p, psp, o, true)
+	} else {
+		st, err = PruneCtx(ctx, work, p, psp)
+	}
 	psp.SetInt("rounds", int64(st.Rounds))
 	psp.SetInt("users_removed", int64(st.UsersRemoved))
 	psp.SetInt("items_removed", int64(st.ItemsRemoved))
@@ -168,7 +179,9 @@ func NearBicliqueExtractCtx(ctx context.Context, work *bipartite.Graph, p Params
 		return nil, err
 	}
 	esp := sp.Start("extract")
-	groups := ExtractGroups(work, p)
+	if !sharded {
+		groups = ExtractGroups(work, p)
+	}
 	esp.SetInt("groups", int64(len(groups)))
 	esp.SetInt("survivor_users", int64(work.LiveUsers()))
 	esp.SetInt("survivor_items", int64(work.LiveItems()))

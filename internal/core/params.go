@@ -56,9 +56,16 @@ type Params struct {
 	// guarantees of Lemmas 1–2 only hold at a fixpoint.
 	SinglePass bool
 
-	// Workers bounds the goroutines used by the parallel pruning stages;
-	// 0 means GOMAXPROCS.
+	// Workers bounds the goroutines used by the parallel stages (shard
+	// pool, square-pruning rounds, screening); 0 means GOMAXPROCS.
 	Workers int
+
+	// NoShard disables the component-sharded parallel orchestration of
+	// Algorithm 3 and forces the monolithic serial fixpoint — the reference
+	// ("golden oracle") path the sharded pipeline is validated against in
+	// shardequiv_test.go. Output is identical either way; NoShard trades
+	// speed for the simplest possible execution.
+	NoShard bool
 }
 
 // DefaultParams returns the paper's experiment defaults (Section VI-B):
@@ -101,6 +108,11 @@ func (p Params) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// sharded reports whether the component-sharded orchestration should run.
+// SinglePass requests the literal sequential pseudocode, which is never
+// sharded.
+func (p Params) sharded() bool { return !p.NoShard && !p.SinglePass }
 
 // ceilMul returns ⌈k × α⌉, the common quantity of Definitions 3–4.
 func ceilMul(k int, alpha float64) int {

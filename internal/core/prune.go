@@ -53,9 +53,17 @@ func PruneTraced(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
 // periodically, so a cancelled prune returns within a fraction of a round.
 // On cancellation the graph is left mid-prune (still a valid graph, but not
 // at the fixpoint) and the accumulated stats are returned with ctx's error.
+//
+// Unless p.NoShard or p.SinglePass is set, the fixpoint is computed by the
+// component-sharded orchestration (shard.go); the residual graph and the
+// stats are identical to the serial path's.
 func PruneCtx(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
 	if p.SinglePass {
 		return pruneSinglePass(ctx, g, p, sp)
+	}
+	if p.sharded() {
+		st, _, err := shardedPruneExtract(ctx, g, p, sp, nil, false)
+		return st, err
 	}
 	return pruneFixpoint(ctx, g, p, sp)
 }

@@ -244,3 +244,26 @@ func TestPruneEmptyGraph(t *testing.T) {
 		t.Errorf("empty graph pruning removed something: %+v", st)
 	}
 }
+
+func TestSortByDegreeBreaksTiesByNodeID(t *testing.T) {
+	// Regression: victim candidate ordering must be fully deterministic
+	// under sharding — equal degrees break ties by NodeID, so traces and
+	// the compact-graph traversal order never depend on sort instability.
+	b := bipartite.NewBuilder(6, 6)
+	// Items 0..5 all end with degree 2 except item 5 (degree 1).
+	for v := 0; v < 5; v++ {
+		b.Add(0, bipartite.NodeID(v), 1)
+		b.Add(1, bipartite.NodeID(v), 1)
+	}
+	b.Add(2, 5, 1)
+	g := b.Build()
+
+	ids := []bipartite.NodeID{4, 2, 0, 5, 3, 1}
+	sortByDegree(ids, g.ItemDegree)
+	want := []bipartite.NodeID{5, 0, 1, 2, 3, 4} // degree 1 first, then ID order
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sorted order = %v, want %v", ids, want)
+		}
+	}
+}

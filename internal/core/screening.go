@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bipartite"
 	"repro/internal/detect"
@@ -176,39 +178,18 @@ func ScreenGroupsCtx(ctx context.Context, g *bipartite.Graph, groups []detect.Gr
 	var ctxErr error
 	csp := sp.Start("behavior_checks")
 	var allUsers, allItems []bipartite.NodeID
-	for _, grp := range groups {
-		faultinject.Hit("core.screen.group")
-		if ctxErr = ctx.Err(); ctxErr != nil {
-			break
-		}
-		users := UserBehaviorCheck(g, grp, hot, p)
-		if len(users) == 0 {
-			continue
-		}
-		items := ItemBehaviorVerification(g, grp.Items, users, hot, p)
-		if len(items) == 0 {
-			continue
-		}
-		// A user must still support at least one verified target;
-		// users whose only strong edges went to unverified items drop out.
-		itemSet := make(map[bipartite.NodeID]bool, len(items))
-		for _, v := range items {
-			itemSet[v] = true
-		}
-		for _, u := range users {
-			supports := false
-			g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
-				if itemSet[v] && w >= p.TClick {
-					supports = true
-					return false
-				}
-				return true
-			})
-			if supports {
-				allUsers = append(allUsers, u)
+	if p.sharded() && p.workers() > 1 && len(groups) > 1 {
+		allUsers, allItems, ctxErr = screenParallel(ctx, g, groups, hot, p)
+	} else {
+		for _, grp := range groups {
+			faultinject.Hit("core.screen.group")
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				break
 			}
+			users, items := screenOne(g, grp, hot, p)
+			allUsers = append(allUsers, users...)
+			allItems = append(allItems, items...)
 		}
-		allItems = append(allItems, items...)
 	}
 	csp.SetInt("users_in", int64(usersIn))
 	csp.SetInt("users_kept", int64(len(allUsers)))
@@ -238,4 +219,101 @@ func ScreenGroupsCtx(ctx context.Context, g *bipartite.Graph, groups []detect.Gr
 	rsp.End()
 	o.Counter("core.screen.groups_out").Add(int64(len(out)))
 	return out, ctxErr
+}
+
+// screenOne applies the user behavior check and item behavior verification
+// to one candidate group. It returns the supported users and verified items,
+// both possibly empty: a dissolved group contributes nothing.
+func screenOne(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params) (users, items []bipartite.NodeID) {
+	checked := UserBehaviorCheck(g, grp, hot, p)
+	if len(checked) == 0 {
+		return nil, nil
+	}
+	items = ItemBehaviorVerification(g, grp.Items, checked, hot, p)
+	if len(items) == 0 {
+		return nil, nil
+	}
+	// A user must still support at least one verified target;
+	// users whose only strong edges went to unverified items drop out.
+	itemSet := make(map[bipartite.NodeID]bool, len(items))
+	for _, v := range items {
+		itemSet[v] = true
+	}
+	for _, u := range checked {
+		supports := false
+		g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
+			if itemSet[v] && w >= p.TClick {
+				supports = true
+				return false
+			}
+			return true
+		})
+		if supports {
+			users = append(users, u)
+		}
+	}
+	return users, items
+}
+
+// screenParallel screens the candidate groups on a bounded worker pool.
+// Groups are independent of each other during behavior checks (only the
+// final repartition is cross-group, and it is set-based), so accumulating
+// per-group outputs in index order makes the result identical to the serial
+// loop's. On cancellation the groups fully screened before the cancel are
+// kept — each is individually sound, matching the serial partial contract.
+// A panic inside a worker is rethrown on the caller's goroutine so the
+// DetectContext stage isolation sees it exactly like a serial panic.
+func screenParallel(ctx context.Context, g *bipartite.Graph, groups []detect.Group,
+	hot *HotSet, p Params) (allUsers, allItems []bipartite.NodeID, ctxErr error) {
+
+	type screenOut struct {
+		users, items []bipartite.NodeID
+		done         bool
+		panicked     any
+	}
+	outs := make([]screenOut, len(groups))
+	pool := p.workers()
+	if pool > len(groups) {
+		pool = len(groups)
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) {
+					return
+				}
+				faultinject.Hit("core.screen.group")
+				if ctx.Err() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							outs[i].panicked = r
+						}
+					}()
+					outs[i].users, outs[i].items = screenOne(g, groups[i], hot, p)
+					outs[i].done = true
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	ctxErr = ctx.Err()
+	for i := range outs {
+		if outs[i].panicked != nil {
+			panic(outs[i].panicked)
+		}
+		if !outs[i].done {
+			continue
+		}
+		allUsers = append(allUsers, outs[i].users...)
+		allItems = append(allItems, outs[i].items...)
+	}
+	return allUsers, allItems, ctxErr
 }

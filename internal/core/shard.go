@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/detect"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// This file implements the component-sharded parallel form of Algorithm 3.
+//
+// The decomposition is sound because pruning removes VERTICES, never edges:
+// once the cheap CorePruning fixpoint has converged globally, the surviving
+// graph splits into connected components that share no edge, so no removal
+// inside one component can ever change a degree or common-neighbor count in
+// another. The union of per-component (α,k₁,k₂) fixpoints therefore equals
+// the global fixpoint, and each component can be pruned, extracted and
+// screened on its own goroutine. Each shard is compacted first
+// (bipartite.CompactComponent), which shrinks the dense common-neighbor
+// counters from whole-graph size to component size — the dominant allocation
+// of the square rounds.
+//
+// Determinism/merge contract: shard outputs are merged in a canonical order
+// that reproduces the serial path exactly. ExtractGroups walks
+// ConnectedComponents of the whole residual — discovery in ascending
+// minimum-user-ID order, then a stable sort by component size descending.
+// Shard groups are exactly those residual components, so replaying the same
+// two-key stable sort over the union of shard outputs yields the serial
+// sequence independent of goroutine scheduling. Compaction preserves
+// verdicts too: local IDs are assigned in ascending original-ID order, so
+// every ID-ordered traversal (and the degree-then-ID candidate order of
+// sortByDegree) coincides with the original graph's.
+
+// maxShardSpans caps the per-shard child spans recorded under the prune
+// span, keeping traces bounded when the residual shatters into thousands of
+// tiny components.
+const maxShardSpans = 48
+
+// shardResult is one component's contribution to the merged outcome.
+type shardResult struct {
+	removedU []bipartite.NodeID // original IDs pruned inside the shard
+	removedI []bipartite.NodeID
+	groups   []detect.Group // extracted groups in original IDs (collect mode)
+	rounds   int            // local fixpoint rounds
+	elapsed  time.Duration
+	done     bool  // shard ran (possibly cut short by ctx with err set)
+	err      error // ctx error observed mid-shard
+	panicked any   // recovered panic, rethrown on the caller's goroutine
+}
+
+// shardedPruneExtract runs Algorithm 3 sharded by connected component:
+// global CorePruning fixpoint → component split → per-shard compaction +
+// local Core/Square fixpoint (+ group extraction when collect is true) on a
+// bounded worker pool → deterministic merge. g is left at the same residual
+// the serial path produces; the returned stats and groups are identical to
+// the serial path's (see shardequiv_test.go).
+//
+// Cancellation: ctx is checked at entry (fault-injection site
+// "core.prune.round", matching the serial loop), before each shard
+// ("core.shard"), and between pruning rounds inside shards. Completed
+// shards' removals are applied even when later shards were skipped — both
+// pruning conditions are monotone, so a partially sharded residual is a
+// sound over-approximation, exactly like a serial mid-prune graph. On
+// cancellation no groups are returned.
+func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
+	sp *obs.Span, o *obs.Observer, collect bool) (PruneStats, []detect.Group, error) {
+
+	var st PruneStats
+	faultinject.Hit("core.prune.round")
+	if err := ctx.Err(); err != nil {
+		return st, nil, err
+	}
+	st.Rounds = 1
+	csp := sp.Start("global_core")
+	removed := corePruneFixpoint(g, p)
+	st.UsersRemoved = removed.UsersRemoved
+	st.ItemsRemoved = removed.ItemsRemoved
+	csp.SetInt("users_removed", int64(removed.UsersRemoved))
+	csp.SetInt("items_removed", int64(removed.ItemsRemoved))
+	csp.End()
+
+	plan := sp.Start("shard_plan")
+	comps := bipartite.ConnectedComponents(g)
+	plan.SetInt("shards", int64(len(comps)))
+	plan.End()
+	o.Counter("core.shards").Add(int64(len(comps)))
+	if len(comps) == 0 {
+		return st, nil, nil
+	}
+
+	// Worker budget: one pool worker per shard up to p.workers(); when there
+	// are fewer shards than workers, the spare workers parallelize the
+	// square rounds INSIDE the shards instead, extra share to the biggest
+	// ones (comps is sorted by size descending).
+	workers := p.workers()
+	inner := make([]int, len(comps))
+	base, rem := 1, 0
+	if len(comps) < workers {
+		base, rem = workers/len(comps), workers%len(comps)
+	}
+	for i := range inner {
+		inner[i] = base
+		if i < rem {
+			inner[i]++
+		}
+	}
+	pool := workers
+	if pool > len(comps) {
+		pool = len(comps)
+	}
+
+	outs := make([]shardResult, len(comps))
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(comps) || ctx.Err() != nil {
+					return
+				}
+				var ssp *obs.Span
+				if i < maxShardSpans {
+					ssp = sp.Start("shard")
+				}
+				outs[i] = runShard(ctx, g, comps[i], p, inner[i], ssp, collect)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge. Panics recovered inside shard workers are rethrown here, on
+	// the caller's goroutine, so the serial contract (a stage bug surfaces
+	// as a panic through PruneCtx / the DetectContext stage isolation)
+	// holds unchanged.
+	maxRounds := 0
+	var firstErr error
+	for i := range outs {
+		out := &outs[i]
+		if out.panicked != nil {
+			panic(out.panicked)
+		}
+		if !out.done {
+			continue
+		}
+		for _, u := range out.removedU {
+			g.RemoveUser(u)
+		}
+		for _, v := range out.removedI {
+			g.RemoveItem(v)
+		}
+		st.UsersRemoved += len(out.removedU)
+		st.ItemsRemoved += len(out.removedI)
+		if out.rounds > maxRounds {
+			maxRounds = out.rounds
+		}
+		if out.err != nil && firstErr == nil {
+			firstErr = out.err
+		}
+		o.Histogram("core.shard").Observe(out.elapsed)
+	}
+	// Serial round r removes each component's round-r square victims, and a
+	// converged component stays converged, so the serial round count is the
+	// max over components of their local fixpoint rounds.
+	if maxRounds > st.Rounds {
+		st.Rounds = maxRounds
+	}
+	if err := ctx.Err(); err != nil {
+		return st, nil, err
+	}
+	if firstErr != nil {
+		return st, nil, firstErr
+	}
+
+	if !collect {
+		return st, nil, nil
+	}
+	var groups []detect.Group
+	for i := range outs {
+		groups = append(groups, outs[i].groups...)
+	}
+	// Canonical merge order = the serial ExtractGroups order: ascending
+	// minimum user ID (Users is sorted, so Users[0] is the minimum), then a
+	// stable sort by group size descending.
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].Users[0] < groups[j].Users[0] })
+	sort.SliceStable(groups, func(i, j int) bool {
+		return len(groups[i].Users)+len(groups[i].Items) > len(groups[j].Users)+len(groups[j].Items)
+	})
+	return st, groups, nil
+}
+
+// runShard prunes one compacted component to its local fixpoint and, in
+// collect mode, extracts its candidate groups, all in original IDs. A panic
+// is recovered into the result for deterministic rethrow by the merger.
+func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
+	p Params, innerWorkers int, ssp *obs.Span, collect bool) (out shardResult) {
+
+	start := time.Now()
+	defer func() {
+		out.elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			out.panicked = r
+			out.done = false
+		}
+		ssp.SetInt("users", int64(len(comp.Users)))
+		ssp.SetInt("items", int64(len(comp.Items)))
+		ssp.SetInt("rounds", int64(out.rounds))
+		ssp.SetInt("removed", int64(len(out.removedU)+len(out.removedI)))
+		ssp.End()
+	}()
+
+	faultinject.Hit("core.shard")
+	if err := ctx.Err(); err != nil {
+		out.err = err
+		return
+	}
+
+	cg, userOf, itemOf := bipartite.CompactComponent(g, comp)
+	lp := p
+	lp.Workers = innerWorkers
+	lst, err := pruneFixpoint(ctx, cg, lp, ssp)
+	out.rounds = lst.Rounds
+	for lu := 0; lu < cg.NumUsers(); lu++ {
+		if !cg.UserAlive(bipartite.NodeID(lu)) {
+			out.removedU = append(out.removedU, userOf[lu])
+		}
+	}
+	for lv := 0; lv < cg.NumItems(); lv++ {
+		if !cg.ItemAlive(bipartite.NodeID(lv)) {
+			out.removedI = append(out.removedI, itemOf[lv])
+		}
+	}
+	out.done = true
+	if err != nil {
+		out.err = err
+		return
+	}
+	if collect {
+		for _, c := range bipartite.ConnectedComponents(cg) {
+			if len(c.Users) >= p.K1 && len(c.Items) >= p.K2 {
+				out.groups = append(out.groups, detect.Group{
+					Users: mapIDs(c.Users, userOf),
+					Items: mapIDs(c.Items, itemOf),
+				})
+			}
+		}
+	}
+	return
+}
+
+// mapIDs translates sorted local IDs back to original IDs; the mapping is
+// strictly increasing, so the output stays sorted.
+func mapIDs(local, of []bipartite.NodeID) []bipartite.NodeID {
+	out := make([]bipartite.NodeID, len(local))
+	for i, id := range local {
+		out[i] = of[id]
+	}
+	return out
+}

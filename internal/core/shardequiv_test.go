@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// This file is the golden-oracle equivalence harness for the
+// component-sharded detection pipeline (shard.go): across a corpus of ≥ 20
+// seeded synthetic workloads of varied shape and worker counts {1, 2, 8},
+// sharded detection must return exactly what the serial reference path
+// (Params.NoShard) returns — same groups in the same order, same membership
+// order, same risk scores, same per-group statistics, same pruning stats.
+
+// equivCorpus returns the seeded workload corpus. Shapes vary deliberately:
+// marketplace size, attack-group count, near-biclique participation, and
+// campaign-scale crews, so the harness covers many-component residuals,
+// single-component residuals, and empty results.
+func equivCorpus() []synth.Config {
+	var cfgs []synth.Config
+	// Small marketplaces (2k users, 400 items) with varied attack shapes.
+	for seed := int64(1); seed <= 8; seed++ {
+		c := synth.SmallConfig()
+		c.Seed = seed
+		c.Attack.Groups = 2 + int(seed%3)
+		c.Attack.Participation = 0.85 + 0.05*float64(seed%3)
+		cfgs = append(cfgs, c)
+	}
+	// Tiny marketplaces (600 users, 150 items): residuals here shatter into
+	// several small components, and some seeds produce none at all.
+	for seed := int64(100); seed < 112; seed++ {
+		c := synth.SmallConfig()
+		c.Seed = seed
+		c.NumUsers = 600
+		c.NumItems = 150
+		c.Attack.Groups = 2 + int(seed%4)
+		c.Attack.AttackersMin = 10
+		c.Attack.AttackersMax = 14
+		c.Attack.TargetsMin = 10
+		c.Attack.TargetsMax = 12
+		c.Attack.HotPoolSize = 6
+		c.Confusers.GroupBuys = 2
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// equivParams varies the detection knobs across the corpus so the harness
+// covers α < 1, relaxed size bounds, and the tiny marketplace's hot range.
+func equivParams(i int, cfg synth.Config) Params {
+	p := smallParams()
+	switch i % 3 {
+	case 1:
+		p.Alpha = 0.8
+	case 2:
+		p.K1, p.K2 = 8, 8
+	}
+	if cfg.NumUsers < 1000 {
+		p.THot = 200
+	}
+	return p
+}
+
+func TestShardedDetectionMatchesSerialOracle(t *testing.T) {
+	cfgs := equivCorpus()
+	if len(cfgs) < 20 {
+		t.Fatalf("corpus has %d workloads, want ≥ 20", len(cfgs))
+	}
+	totalGroups := 0
+	for i, cfg := range cfgs {
+		ds := synth.MustGenerate(cfg)
+		base := equivParams(i, cfg)
+
+		serial := base
+		serial.NoShard = true
+		oracle, err := (&Detector{Params: serial}).Detect(ds.Graph)
+		if err != nil {
+			t.Fatalf("workload %d: serial oracle: %v", i, err)
+		}
+		totalGroups += len(oracle.Groups)
+
+		for _, w := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("workload%02d/w%d", i, w), func(t *testing.T) {
+				p := base
+				p.Workers = w
+				res, err := (&Detector{Params: p}).Detect(ds.Graph)
+				if err != nil {
+					t.Fatalf("sharded detect: %v", err)
+				}
+				if len(res.Groups) != len(oracle.Groups) {
+					t.Fatalf("groups = %d, oracle has %d", len(res.Groups), len(oracle.Groups))
+				}
+				for gi := range oracle.Groups {
+					want, got := oracle.Groups[gi], res.Groups[gi]
+					if !reflect.DeepEqual(got.Users, want.Users) {
+						t.Errorf("group %d users diverge:\n got %v\nwant %v", gi, got.Users, want.Users)
+					}
+					if !reflect.DeepEqual(got.Items, want.Items) {
+						t.Errorf("group %d items diverge:\n got %v\nwant %v", gi, got.Items, want.Items)
+					}
+					if got.Score != want.Score {
+						t.Errorf("group %d score = %v, oracle %v", gi, got.Score, want.Score)
+					}
+					// Same members against the same graph must yield
+					// byte-identical forensic statistics.
+					if ComputeGroupStats(ds.Graph, got) != ComputeGroupStats(ds.Graph, want) {
+						t.Errorf("group %d stats diverge", gi)
+					}
+				}
+				if !reflect.DeepEqual(res.Users(), oracle.Users()) {
+					t.Error("suspicious user sets diverge")
+				}
+				if !reflect.DeepEqual(res.Items(), oracle.Items()) {
+					t.Error("suspicious item sets diverge")
+				}
+			})
+		}
+	}
+	if totalGroups == 0 {
+		t.Fatal("corpus is vacuous: the serial oracle found no groups anywhere")
+	}
+	t.Logf("oracle found %d groups across %d workloads", totalGroups, len(cfgs))
+}
+
+// TestShardedPruneLeavesOracleResidual pins the other half of the contract:
+// not just the reported groups but the residual graph itself — PruneCtx under
+// sharding must leave exactly the serial fixpoint.
+func TestShardedPruneLeavesOracleResidual(t *testing.T) {
+	for i, cfg := range equivCorpus()[:6] {
+		ds := synth.MustGenerate(cfg)
+		p := equivParams(i, cfg)
+
+		serial := ds.Graph.Clone()
+		sp := p
+		sp.NoShard = true
+		stSerial := Prune(serial, sp)
+
+		for _, w := range []int{1, 2, 8} {
+			sharded := ds.Graph.Clone()
+			pp := p
+			pp.Workers = w
+			stSharded := Prune(sharded, pp)
+			if stSerial != stSharded {
+				t.Errorf("workload %d w=%d: stats = %+v, oracle %+v", i, w, stSharded, stSerial)
+			}
+			if !reflect.DeepEqual(sharded.LiveUserIDs(), serial.LiveUserIDs()) {
+				t.Errorf("workload %d w=%d: surviving users diverge", i, w)
+			}
+			if !reflect.DeepEqual(sharded.LiveItemIDs(), serial.LiveItemIDs()) {
+				t.Errorf("workload %d w=%d: surviving items diverge", i, w)
+			}
+		}
+	}
+}

@@ -114,11 +114,32 @@ func (d *Detector) AddClick(user, item uint32, clicks uint32) {
 	d.Obs.Gauge("stream.dirty_users").Set(int64(n))
 }
 
-// AddBatch streams a batch of click records.
+// AddBatch streams a batch of click records under one lock acquisition, so
+// bulk replay (log catch-up, backfill) does not pay per-record contention
+// against an in-flight sweep. Zero-click records are skipped, matching
+// AddClick.
 func (d *Detector) AddBatch(records []clicktable.Record) {
-	for _, r := range records {
-		d.AddClick(r.UserID, r.ItemID, r.Clicks)
+	if len(records) == 0 {
+		return
 	}
+	d.mu.Lock()
+	n := 0
+	for _, r := range records {
+		if r.Clicks == 0 {
+			continue
+		}
+		d.table.Append(r.UserID, r.ItemID, r.Clicks)
+		d.dirty[r.UserID] = struct{}{}
+		d.events++
+		n++
+	}
+	if n > 0 {
+		d.graph = nil
+	}
+	dirty := len(d.dirty)
+	d.mu.Unlock()
+	d.Obs.Counter("stream.events").Add(int64(n))
+	d.Obs.Gauge("stream.dirty_users").Set(int64(dirty))
 }
 
 // PendingEvents returns the number of click events streamed since creation.
@@ -153,6 +174,23 @@ func (d *Detector) graphLocked() *bipartite.Graph {
 // first call (or a call after Reset) is a full detection.
 func (d *Detector) Detect() (*detect.Result, error) {
 	return d.DetectContext(context.Background())
+}
+
+// Sweep is the operational name for Detect: one batched pass over the
+// clicks accumulated since the last pass.
+func (d *Detector) Sweep() (*detect.Result, error) {
+	return d.DetectContext(context.Background())
+}
+
+// SweepContext is Sweep under a context, with DetectContext's partial-result
+// contract. The sweep inherits the component-sharded orchestration of
+// core.NearBicliqueExtractCtx: the dirty-region subgraph splits into
+// connected components after core pruning and each runs on its own worker
+// (bounded by the detector's core.Params.Workers), so a sweep touching
+// several disjoint dirty neighborhoods prunes them concurrently while
+// producing output identical to a serial sweep.
+func (d *Detector) SweepContext(ctx context.Context) (*detect.Result, error) {
+	return d.DetectContext(ctx)
 }
 
 // DetectContext is Detect under a context. The sweep checks ctx at its
