@@ -278,6 +278,38 @@ func BenchmarkDetectSharded(b *testing.B) {
 			run(b, p)
 		})
 	}
+	// The no-frontier leg re-runs the sharded pipeline with full-rescan
+	// pruning rounds (Params.NoFrontier), so the bench smoke exercises both
+	// pruning modes; BENCH_frontier.json records the delta.
+	b.Run("w4-rescan", func(b *testing.B) {
+		p := core.DefaultParams()
+		p.Workers = 4
+		p.NoFrontier = true
+		run(b, p)
+	})
+}
+
+// BenchmarkPruneFrontier measures the dirty-frontier fixpoint against the
+// full-rescan reference loop on the rounds-heavy ladder workload (~100
+// fixpoint rounds of small removals, where per-round full rescans are
+// maximally wasteful). The JSON panel in bench_frontier_test.go re-runs
+// this pair for BENCH_frontier.json.
+func BenchmarkPruneFrontier(b *testing.B) {
+	base := synth.LadderGraph(200, 6, 6)
+	k1, k2, alpha := synth.LadderParams(6, 6)
+	run := func(b *testing.B, noFrontier bool) {
+		p := core.DefaultParams()
+		p.K1, p.K2, p.Alpha = k1, k2, alpha
+		p.NoFrontier = noFrontier
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := base.Clone()
+			core.Prune(g, p)
+		}
+	}
+	b.Run("frontier", func(b *testing.B) { run(b, false) })
+	b.Run("rescan", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkScreeningOnly isolates the UI module's cost (the small stack

@@ -57,6 +57,7 @@ func run() int {
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole replay; on expiry the exit status is 2")
 		workers    = flag.Int("workers", 0, "worker goroutines for the sharded sweep pipeline (0 = GOMAXPROCS)")
+		noFront    = flag.Bool("no-frontier", false, "rescan every live vertex each pruning round instead of the dirty frontier (identical output)")
 	)
 	flag.Parse()
 	if *eventsPath == "" {
@@ -101,6 +102,7 @@ func run() int {
 	params.THot = *thot
 	params.TClick = uint32(*tclick)
 	params.Workers = *workers
+	params.NoFrontier = *noFront
 
 	det, err := stream.New(nil, params)
 	if err != nil {

@@ -124,6 +124,12 @@ type Config struct {
 	// against the serial one group-for-group and score-for-score); Serial
 	// exists as the oracle switch for that validation and for debugging.
 	Serial bool
+	// NoFrontier disables the dirty-frontier incremental square pruning
+	// and makes every fixpoint round rescan all live vertices. Output is
+	// identical either way (the frontier loop is validated against the
+	// rescan loop byte-for-byte); NoFrontier exists as the oracle switch
+	// for that validation and for debugging, mirroring Serial.
+	NoFrontier bool
 	// Observer, when non-nil, receives the run's stage trace (per-phase
 	// spans mirroring the paper's Fig 8b split) and pipeline metrics; the
 	// trace is echoed on Report.Trace. Construct one with
@@ -334,6 +340,7 @@ func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
 	params.Alpha = cfg.Alpha
 	params.Workers = cfg.Workers
 	params.NoShard = cfg.Serial
+	params.NoFrontier = cfg.NoFrontier
 	if cfg.THot != 0 || cfg.TClick != 0 {
 		params.THot = cfg.THot
 		params.TClick = cfg.TClick

@@ -87,6 +87,11 @@ func ConnectedComponents(g *Graph) []Component {
 // and g. Unlike Compact, no Builder round-trip and no whole-graph scan is
 // involved — the cost is proportional to the component alone, which is what
 // the sharded pruning path relies on.
+//
+// The compact graph starts at removal epoch 0 with no removal observer:
+// incremental passes attach their own per-shard observer to c, and the
+// shard's removals reach g (bumping g's epoch) only when the merger replays
+// them through g.RemoveUser/RemoveItem.
 func CompactComponent(g *Graph, comp Component) (c *Graph, userOf, itemOf []NodeID) {
 	userOf, itemOf = comp.Users, comp.Items
 	localU := make(map[NodeID]NodeID, len(userOf))

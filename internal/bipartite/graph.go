@@ -71,6 +71,20 @@ type Graph struct {
 	liveItems int
 	liveEdges int
 	liveClick uint64
+
+	removals uint64          // epoch counter: total vertex removals applied
+	observer RemovalObserver // notified at the start of each removal; may be nil
+}
+
+// RemovalObserver is notified synchronously at the START of RemoveUser /
+// RemoveItem, before any liveness state is mutated: the vertex and its
+// adjacency are still fully traversable, so the observer sees the graph
+// exactly as it was when the removal was decided. Incremental algorithms
+// (the dirty-frontier square pruning in internal/core) use this to mark the
+// removed vertex's surviving neighborhood for re-evaluation.
+type RemovalObserver interface {
+	UserRemoved(u NodeID)
+	ItemRemoved(v NodeID)
 }
 
 // NewGraph returns an empty graph with capacity for the given number of
@@ -211,12 +225,33 @@ func (g *Graph) ItemNeighbors(v NodeID) []Arc {
 	return out
 }
 
+// SetRemovalObserver installs o as the graph's removal observer and returns
+// the previous one (nil if none), so callers can save/restore around a scoped
+// use. Observers do not survive Clone or CompactComponent: clones are
+// mass-edited by unrelated passes, and compact graphs live in a different ID
+// space.
+func (g *Graph) SetRemovalObserver(o RemovalObserver) (prev RemovalObserver) {
+	prev, g.observer = g.observer, o
+	return prev
+}
+
+// RemovalEpoch returns the total number of vertex removals ever applied to
+// this graph (no-op removals of already-dead vertices do not count). Clones
+// inherit the epoch of their source, so two graphs that underwent the same
+// removal sequence — e.g. the sharded and serial prune paths — report the
+// same epoch.
+func (g *Graph) RemovalEpoch() uint64 { return g.removals }
+
 // RemoveUser deletes user u and its incident edges. Removing an already-dead
 // user is a no-op.
 func (g *Graph) RemoveUser(u NodeID) {
 	if !g.UserAlive(u) {
 		return
 	}
+	if g.observer != nil {
+		g.observer.UserRemoved(u)
+	}
+	g.removals++
 	g.uAlive[u] = false
 	g.liveUsers--
 	for _, a := range g.uAdj[u] {
@@ -237,6 +272,10 @@ func (g *Graph) RemoveItem(v NodeID) {
 	if !g.ItemAlive(v) {
 		return
 	}
+	if g.observer != nil {
+		g.observer.ItemRemoved(v)
+	}
+	g.removals++
 	g.vAlive[v] = false
 	g.liveItems--
 	for _, a := range g.vAdj[v] {
@@ -311,9 +350,11 @@ func (g *Graph) Edges() []Edge {
 
 // Clone returns a deep copy of the graph, preserving deletions.
 // Adjacency slices are shared because they are immutable after build;
-// only the mutable liveness state is copied.
+// only the mutable liveness state is copied. The removal epoch carries over;
+// the removal observer deliberately does not (see SetRemovalObserver).
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
+		removals:  g.removals,
 		uAdj:      g.uAdj,
 		vAdj:      g.vAdj,
 		uAlive:    append([]bool(nil), g.uAlive...),

@@ -1,0 +1,117 @@
+package bipartite
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recordingObserver records every removal notification plus the live
+// neighborhood of the removed vertex as seen AT hook time, to pin the
+// contract that the observer fires before any mutation.
+type recordingObserver struct {
+	g     *Graph
+	users []NodeID
+	items []NodeID
+	nbrs  map[string][]NodeID
+}
+
+func newRecordingObserver(g *Graph) *recordingObserver {
+	return &recordingObserver{g: g, nbrs: map[string][]NodeID{}}
+}
+
+func (r *recordingObserver) UserRemoved(u NodeID) {
+	r.users = append(r.users, u)
+	var nbrs []NodeID
+	r.g.EachUserNeighbor(u, func(v NodeID, _ uint32) bool {
+		nbrs = append(nbrs, v)
+		return true
+	})
+	r.nbrs["u"+string(rune('0'+u))] = nbrs
+}
+
+func (r *recordingObserver) ItemRemoved(v NodeID) {
+	r.items = append(r.items, v)
+	var nbrs []NodeID
+	r.g.EachItemNeighbor(v, func(u NodeID, _ uint32) bool {
+		nbrs = append(nbrs, u)
+		return true
+	})
+	r.nbrs["v"+string(rune('0'+v))] = nbrs
+}
+
+func TestRemovalObserverSeesPreRemovalAdjacency(t *testing.T) {
+	g := testGraph(t)
+	obs := newRecordingObserver(g)
+	if prev := g.SetRemovalObserver(obs); prev != nil {
+		t.Fatalf("fresh graph reported a previous observer: %v", prev)
+	}
+
+	g.RemoveItem(1) // v1 — live users {0, 1} at removal time
+	g.RemoveUser(1) // u1 — v1 already dead, so live items {0, 2}
+	g.RemoveUser(1) // no-op: already dead, must not notify again
+
+	if want := []NodeID{1}; !reflect.DeepEqual(obs.users, want) {
+		t.Errorf("user notifications = %v, want %v", obs.users, want)
+	}
+	if want := []NodeID{1}; !reflect.DeepEqual(obs.items, want) {
+		t.Errorf("item notifications = %v, want %v", obs.items, want)
+	}
+	if want := []NodeID{0, 1}; !reflect.DeepEqual(obs.nbrs["v1"], want) {
+		t.Errorf("v1 hook-time neighbors = %v, want %v (pre-removal, live only)", obs.nbrs["v1"], want)
+	}
+	if want := []NodeID{0, 2}; !reflect.DeepEqual(obs.nbrs["u1"], want) {
+		t.Errorf("u1 hook-time neighbors = %v, want %v (v1 dead by then)", obs.nbrs["u1"], want)
+	}
+}
+
+func TestSetRemovalObserverSaveRestore(t *testing.T) {
+	g := testGraph(t)
+	first := newRecordingObserver(g)
+	second := newRecordingObserver(g)
+
+	if prev := g.SetRemovalObserver(first); prev != nil {
+		t.Fatalf("unexpected previous observer %v", prev)
+	}
+	prev := g.SetRemovalObserver(second)
+	if prev != RemovalObserver(first) {
+		t.Fatalf("SetRemovalObserver returned %v, want the first observer", prev)
+	}
+	g.RemoveUser(0)
+	if len(first.users) != 0 || len(second.users) != 1 {
+		t.Errorf("notifications went to the wrong observer: first=%v second=%v", first.users, second.users)
+	}
+	g.SetRemovalObserver(prev) // restore
+	g.RemoveUser(2)
+	if len(first.users) != 1 || len(second.users) != 1 {
+		t.Errorf("restore failed: first=%v second=%v", first.users, second.users)
+	}
+}
+
+func TestRemovalEpochCountsEffectiveRemovals(t *testing.T) {
+	g := testGraph(t)
+	if g.RemovalEpoch() != 0 {
+		t.Fatalf("fresh graph epoch = %d, want 0", g.RemovalEpoch())
+	}
+	g.RemoveUser(0)
+	g.RemoveUser(0) // no-op must not bump the epoch
+	g.RemoveItem(2)
+	if got := g.RemovalEpoch(); got != 2 {
+		t.Errorf("epoch = %d, want 2 (no-op removals excluded)", got)
+	}
+
+	// Clones inherit the epoch but advance independently, and deliberately
+	// drop the observer (mass-edited clones must not spam it).
+	obs := newRecordingObserver(g)
+	g.SetRemovalObserver(obs)
+	c := g.Clone()
+	if c.RemovalEpoch() != g.RemovalEpoch() {
+		t.Errorf("clone epoch = %d, want %d", c.RemovalEpoch(), g.RemovalEpoch())
+	}
+	c.RemoveUser(1)
+	if c.RemovalEpoch() != 3 || g.RemovalEpoch() != 2 {
+		t.Errorf("epochs entangled: clone=%d source=%d", c.RemovalEpoch(), g.RemovalEpoch())
+	}
+	if len(obs.users) != 0 {
+		t.Errorf("clone removal notified the source's observer: %v", obs.users)
+	}
+}

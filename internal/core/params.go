@@ -66,6 +66,15 @@ type Params struct {
 	// shardequiv_test.go. Output is identical either way; NoShard trades
 	// speed for the simplest possible execution.
 	NoShard bool
+
+	// NoFrontier disables the dirty-frontier incremental square pruning and
+	// forces every fixpoint round to re-evaluate all live vertices — the
+	// full-rescan reference path the frontier loop is validated against,
+	// mirroring NoShard. Output is identical either way (the frontier
+	// computes the same maximal fixpoint; see DESIGN.md §10); NoFrontier
+	// trades speed for the simplest possible execution. The golden oracle of
+	// the equivalence harness sets NoShard and NoFrontier together.
+	NoFrontier bool
 }
 
 // DefaultParams returns the paper's experiment defaults (Section VI-B):

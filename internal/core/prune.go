@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/bipartite"
@@ -23,6 +23,14 @@ import (
 // applied between rounds). Params.SinglePass instead performs one sequential
 // pass of each stage with immediate removals, matching the literal
 // pseudocode.
+//
+// Rounds after the first do not rescan the whole graph: a vertex's square
+// verdict depends only on its ≤2-hop live neighborhood, so only vertices
+// within two hops of a removal can change verdict between rounds. The
+// dirty-frontier loop (pruneFixpointFrontier) exploits this by observing
+// every removal and re-evaluating only the marked frontier; see DESIGN.md
+// §10 for the soundness argument. Params.NoFrontier falls back to the
+// full-rescan reference loop the frontier is validated against.
 
 // PruneStats reports what pruning removed.
 type PruneStats struct {
@@ -65,11 +73,33 @@ func PruneCtx(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (
 		st, _, err := shardedPruneExtract(ctx, g, p, sp, nil, false)
 		return st, err
 	}
-	return pruneFixpoint(ctx, g, p, sp)
+	return pruneFixpoint(ctx, g, p, sp, nil)
 }
 
-func pruneFixpoint(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
+// testSquareEvalHook, when non-nil, is invoked for every live vertex whose
+// square condition is actually evaluated during fixpoint rounds. Tests use
+// it to assert the frontier never re-evaluates vertices far from every
+// removal. Only set it with Workers=1 — parallel rounds would race on the
+// hook's state.
+var testSquareEvalHook func(side bipartite.Side, id bipartite.NodeID)
+
+// pruneFixpoint computes the Core/Square fixpoint of Algorithm 3, selecting
+// the dirty-frontier loop unless p.NoFrontier requests the full-rescan
+// reference path. o (nil-safe) receives the core.frontier metrics.
+func pruneFixpoint(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer) (PruneStats, error) {
+	if p.NoFrontier {
+		return pruneFixpointRescan(ctx, g, p, sp)
+	}
+	return pruneFixpointFrontier(ctx, g, p, sp, o)
+}
+
+// pruneFixpointRescan is the reference fixpoint loop: every round re-evaluates
+// the square condition for every live vertex. It is retained as the golden
+// oracle the frontier loop is pinned against (shardequiv_test.go) and as the
+// Params.NoFrontier escape hatch.
+func pruneFixpointRescan(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
 	var st PruneStats
+	pool := newCounterPool(g.NumUsers(), g.NumItems())
 	for {
 		faultinject.Hit("core.prune.round")
 		if err := ctx.Err(); err != nil {
@@ -78,11 +108,11 @@ func pruneFixpoint(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Sp
 		st.Rounds++
 		rsp := sp.Start("round")
 		removed := corePruneFixpoint(g, p)
-		uVictims := squareRoundUsers(ctx, g, p)
+		uVictims := squareRoundUsers(ctx, g, p, g.LiveUserIDs(), pool)
 		for _, u := range uVictims {
 			g.RemoveUser(u)
 		}
-		iVictims := squareRoundItems(ctx, g, p)
+		iVictims := squareRoundItems(ctx, g, p, g.LiveItemIDs(), pool)
 		for _, v := range iVictims {
 			g.RemoveItem(v)
 		}
@@ -102,6 +132,239 @@ func pruneFixpoint(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Sp
 		if len(uVictims) == 0 && len(iVictims) == 0 {
 			return st, nil
 		}
+	}
+}
+
+// pruneFixpointFrontier computes the same fixpoint as pruneFixpointRescan —
+// byte-identical victims, rounds, and residual — but each round after the
+// first evaluates only the dirty frontier: the vertices whose ≤2-hop live
+// neighborhood shrank since their last evaluation. The frontier is
+// maintained by observing every removal (bipartite.RemovalObserver), so core
+// cascades, square victims, and caller-applied removals all feed it.
+//
+// Round protocol, chosen to replay the rescan loop exactly:
+//
+//  1. Round 1 evaluates every live vertex (the all-dirty seed), so the
+//     initial core fixpoint runs before the observer attaches and the
+//     redundant item-side marks of round 1's user victims are dropped.
+//  2. Each later round runs the core fixpoint first (its removals mark),
+//     then takes the user frontier, then — only after the round's user
+//     victims are applied — takes the item frontier, mirroring the rescan
+//     loop's item scan seeing the same round's user removals.
+//  3. Taken frontiers are evaluated in ascending ID order with dead entries
+//     skipped, so the victim sequence matches the rescan loop's
+//     LiveUserIDs/LiveItemIDs order.
+func pruneFixpointFrontier(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer) (PruneStats, error) {
+	var st PruneStats
+	pool := newCounterPool(g.NumUsers(), g.NumItems())
+	fr := &frontier{
+		g:     g,
+		users: newDirtySet(g.NumUsers()),
+		items: newDirtySet(g.NumItems()),
+		walkU: newDirtySet(g.NumUsers()),
+		walkI: newDirtySet(g.NumItems()),
+	}
+
+	faultinject.Hit("core.prune.round")
+	if err := ctx.Err(); err != nil {
+		return st, err
+	}
+	st.Rounds = 1
+	rsp := sp.Start("round")
+	removed := corePruneFixpoint(g, p)
+	prev := g.SetRemovalObserver(fr)
+	defer g.SetRemovalObserver(prev)
+
+	first := true
+	for {
+		if !first {
+			faultinject.Hit("core.prune.round")
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+			st.Rounds++
+			rsp = sp.Start("round")
+			removed = corePruneFixpoint(g, p)
+		}
+		faultinject.Hit("core.frontier")
+
+		var evalU []bipartite.NodeID
+		if first {
+			evalU = g.LiveUserIDs()
+		} else {
+			fr.expand()
+			evalU = fr.users.take()
+		}
+		uVictims := squareRoundUsers(ctx, g, p, evalU, pool)
+		for _, u := range uVictims {
+			g.RemoveUser(u)
+		}
+		var evalI []bipartite.NodeID
+		if first {
+			// Round 1's user victims marked their item neighborhoods, but
+			// round 1 evaluates every item anyway — drop the redundant item
+			// marks (the user-side marks stay queued for round 2).
+			fr.items.reset()
+			evalI = g.LiveItemIDs()
+		} else {
+			fr.expand()
+			evalI = fr.items.take()
+		}
+		iVictims := squareRoundItems(ctx, g, p, evalI, pool)
+		for _, v := range iVictims {
+			g.RemoveItem(v)
+		}
+
+		st.UsersRemoved += removed.UsersRemoved + len(uVictims)
+		st.ItemsRemoved += removed.ItemsRemoved + len(iVictims)
+		rsp.SetInt("core_users_removed", int64(removed.UsersRemoved))
+		rsp.SetInt("core_items_removed", int64(removed.ItemsRemoved))
+		rsp.SetInt("square_users_removed", int64(len(uVictims)))
+		rsp.SetInt("square_items_removed", int64(len(iVictims)))
+		rsp.SetInt("frontier_users", int64(len(evalU)))
+		rsp.SetInt("frontier_items", int64(len(evalI)))
+		rsp.SetInt("frontier_size", int64(len(evalU)+len(evalI)))
+		rsp.End()
+		o.Counter("core.frontier.evaluated").Add(int64(len(evalU) + len(evalI)))
+
+		if err := ctx.Err(); err != nil {
+			// The cancelled evaluations above consumed dirty marks they did
+			// not finish re-checking. Merge the taken sets back so the
+			// frontier still covers every potentially stale vertex — the
+			// graph stays a sound mid-prune over-approximation and a resumed
+			// pass (or the next stream sweep) redoes exactly that work.
+			for _, u := range evalU {
+				fr.users.mark(u)
+			}
+			for _, v := range evalI {
+				fr.items.mark(v)
+			}
+			return st, err
+		}
+		if len(uVictims) == 0 && len(iVictims) == 0 {
+			return st, nil
+		}
+		first = false
+	}
+}
+
+// dirtySet tracks the vertices of one side whose square-condition inputs may
+// have shrunk since their last evaluation. mark is O(1) and idempotent; take
+// returns the marked IDs sorted ascending (the evaluation order of the
+// rescan rounds) and resets the set. The two backing buffers alternate
+// between rounds, so a steady-state fixpoint allocates nothing here.
+type dirtySet struct {
+	bits  []bool
+	list  []bipartite.NodeID
+	spare []bipartite.NodeID
+}
+
+func newDirtySet(n int) *dirtySet { return &dirtySet{bits: make([]bool, n)} }
+
+func (s *dirtySet) mark(id bipartite.NodeID) {
+	if !s.bits[id] {
+		s.bits[id] = true
+		s.list = append(s.list, id)
+	}
+}
+
+// take returns the current dirty IDs sorted ascending and clears the set.
+// The returned slice is only valid until the next take (its buffer is
+// recycled).
+func (s *dirtySet) take() []bipartite.NodeID {
+	out := s.list
+	for _, id := range out {
+		s.bits[id] = false
+	}
+	s.list, s.spare = s.spare[:0], out
+	slices.Sort(out)
+	return out
+}
+
+// drain is take without the sort: for the walk sets, whose processing order
+// is irrelevant (marking is commutative and idempotent).
+func (s *dirtySet) drain() []bipartite.NodeID {
+	out := s.list
+	for _, id := range out {
+		s.bits[id] = false
+	}
+	s.list, s.spare = s.spare[:0], out
+	return out
+}
+
+// reset discards all pending marks without returning them.
+func (s *dirtySet) reset() {
+	for _, id := range s.list {
+		s.bits[id] = false
+	}
+	s.list = s.list[:0]
+}
+
+// frontier is the dirty-vertex worklist of the incremental square-pruning
+// fixpoint, installed as the graph's removal observer. The marking rule
+// follows from the square conditions (Definition 4): removing user x shrinks
+// the live degree of each item v ∈ N(x) (a 1-hop input of v's verdict) and
+// the common-item counts of every user sharing an item with x (a 2-hop
+// input), so those — and only those — vertices can change verdict. Item
+// removals are the exact dual.
+//
+// The 1-hop marks are applied synchronously: the hook fires at the start of
+// the removal, while x and its adjacency are still traversable, so N(x) is
+// the neighborhood the removal decision saw. The 2-hop marks are deferred:
+// the hook only queues N(x) in a walk set, and expand — called once before
+// each frontier is taken — walks each queued vertex's neighborhood exactly
+// once. Deferral makes removals O(deg) instead of O(Σ two-hop), dedupes the
+// expensive walk when many removals share neighbors (in a heavy round most
+// do), and skips queued vertices that died later in the round outright:
+// their neighborhoods were marked 1-hop by their own removals, so walking a
+// dead vertex would only re-mark what is already covered. Expansion at
+// take-time liveness still marks every stale vertex — if the connecting
+// vertex v on a path u–v–x is live when u is next evaluated, it was live at
+// expansion and u was marked through it; if v died first, u was marked by
+// v's own 1-hop hook — so the taken frontier remains a superset of the
+// vertices whose verdict can have changed, which is all equivalence needs.
+type frontier struct {
+	g     *bipartite.Graph
+	users *dirtySet
+	items *dirtySet
+	walkU *dirtySet // users adjacent to removed items, pending a one-hop expansion
+	walkI *dirtySet // items adjacent to removed users, pending a one-hop expansion
+}
+
+func (f *frontier) UserRemoved(x bipartite.NodeID) {
+	f.g.EachUserNeighbor(x, func(v bipartite.NodeID, _ uint32) bool {
+		f.items.mark(v)
+		f.walkI.mark(v)
+		return true
+	})
+}
+
+func (f *frontier) ItemRemoved(y bipartite.NodeID) {
+	f.g.EachItemNeighbor(y, func(u bipartite.NodeID, _ uint32) bool {
+		f.users.mark(u)
+		f.walkU.mark(u)
+		return true
+	})
+}
+
+// expand drains the walk sets queued by the removal hooks, marking the
+// deferred 2-hop side of each removal: the live users sharing an item with a
+// removed user, and the live items sharing a user with a removed item.
+// Each*Neighbor skips vertices that have since died, which is sound (see the
+// type comment). Called before every take so the frontier is complete at the
+// moment it is consumed.
+func (f *frontier) expand() {
+	for _, v := range f.walkI.drain() {
+		f.g.EachItemNeighbor(v, func(u bipartite.NodeID, _ uint32) bool {
+			f.users.mark(u)
+			return true
+		})
+	}
+	for _, u := range f.walkU.drain() {
+		f.g.EachUserNeighbor(u, func(v bipartite.NodeID, _ uint32) bool {
+			f.items.mark(v)
+			return true
+		})
 	}
 }
 
@@ -160,6 +423,11 @@ func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.
 		return st, err
 	}
 	needI := ceilMul(p.K1, p.Alpha)
+	faultinject.Hit("core.prune.single_pass.items")
+	// The poll cadence must restart with the scan: carrying the user scan's
+	// count over would shift the &0xff poll points of the item scan by an
+	// arbitrary offset.
+	scanned = 0
 	g.EachLiveItem(func(v bipartite.NodeID) bool {
 		if scanned++; scanned&0xff == 0 && ctx.Err() != nil {
 			return false
@@ -248,6 +516,7 @@ type commonCounter struct {
 	countsI []int32
 	touched []bipartite.NodeID
 	nbrs    []bipartite.NodeID
+	keys    []uint64 // sortByDegree scratch
 }
 
 func newCommonCounter(numUsers, numItems int) *commonCounter {
@@ -256,6 +525,23 @@ func newCommonCounter(numUsers, numItems int) *commonCounter {
 		countsI: make([]int32, numItems),
 	}
 }
+
+// counterPool recycles commonCounters across the rounds and workers of one
+// pruning fixpoint. The counters are graph-sized (component-sized inside a
+// compacted shard, which is why each shard builds its own pool), so reuse
+// means steady-state rounds allocate no counter state at all.
+type counterPool struct {
+	pool sync.Pool
+}
+
+func newCounterPool(numUsers, numItems int) *counterPool {
+	cp := &counterPool{}
+	cp.pool.New = func() any { return newCommonCounter(numUsers, numItems) }
+	return cp
+}
+
+func (cp *counterPool) get() *commonCounter  { return cp.pool.Get().(*commonCounter) }
+func (cp *counterPool) put(c *commonCounter) { cp.pool.Put(c) }
 
 // squareSurvivesUser reports whether user u has at least k1 users (itself
 // included, per Definition 4: u trivially shares all deg(u) ≥ need neighbors
@@ -272,7 +558,7 @@ func squareSurvivesUser(g *bipartite.Graph, u bipartite.NodeID, need, k1 int, c 
 		c.nbrs = append(c.nbrs, v)
 		return true
 	})
-	sortByDegree(c.nbrs, g.ItemDegree)
+	c.keys = sortByDegree(c.nbrs, g.ItemDegree, c.keys)
 
 	c.touched = c.touched[:0]
 	num := 0
@@ -309,7 +595,7 @@ func squareSurvivesItem(g *bipartite.Graph, v bipartite.NodeID, need, k2 int, c 
 		c.nbrs = append(c.nbrs, u)
 		return true
 	})
-	sortByDegree(c.nbrs, g.UserDegree)
+	c.keys = sortByDegree(c.nbrs, g.UserDegree, c.keys)
 
 	c.touched = c.touched[:0]
 	num := 0
@@ -339,42 +625,63 @@ func squareSurvivesItem(g *bipartite.Graph, v bipartite.NodeID, need, k2 int, c 
 	return ok
 }
 
-func sortByDegree(ids []bipartite.NodeID, deg func(bipartite.NodeID) int) {
-	sort.Slice(ids, func(i, j int) bool {
-		di, dj := deg(ids[i]), deg(ids[j])
-		if di != dj {
-			return di < dj
-		}
-		return ids[i] < ids[j]
-	})
+// sortByDegree orders ids ascending by (degree, id). Each id is packed once
+// into a uint64 key — degree in the high 32 bits, id in the low 32 — so the
+// sort runs over plain integers with no per-comparison closure and no
+// repeated deg() calls (this sits in the square-pruning inner loop), and the
+// NodeID tie-break falls out of the packing. keys is the caller's scratch
+// buffer; the (possibly grown) buffer is returned for reuse.
+func sortByDegree(ids []bipartite.NodeID, deg func(bipartite.NodeID) int, keys []uint64) []uint64 {
+	keys = keys[:0]
+	for _, id := range ids {
+		keys = append(keys, uint64(uint32(deg(id)))<<32|uint64(id))
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		ids[i] = bipartite.NodeID(uint32(k))
+	}
+	return keys
 }
 
-// squareRoundUsers evaluates the user-side square condition for every live
-// user against the frozen graph, in parallel, and returns the victims.
-func squareRoundUsers(ctx context.Context, g *bipartite.Graph, p Params) []bipartite.NodeID {
+// squareRoundUsers evaluates the user-side square condition for the given
+// candidate users against the frozen graph, in parallel, and returns the
+// victims in candidate order. Candidates must be sorted ascending; dead
+// candidates (stale frontier marks) are skipped, so the victim sequence is
+// exactly the one a full LiveUserIDs scan would produce.
+func squareRoundUsers(ctx context.Context, g *bipartite.Graph, p Params, ids []bipartite.NodeID, pool *counterPool) []bipartite.NodeID {
 	need := ceilMul(p.K2, p.Alpha)
-	ids := g.LiveUserIDs()
 	return parallelFilter(ctx, ids, p.workers(), func(c *commonCounter, u bipartite.NodeID) bool {
+		if !g.UserAlive(u) {
+			return false
+		}
+		if h := testSquareEvalHook; h != nil {
+			h(bipartite.UserSide, u)
+		}
 		return !squareSurvivesUser(g, u, need, p.K1, c)
-	}, g)
+	}, pool)
 }
 
 // squareRoundItems is the item-side dual of squareRoundUsers.
-func squareRoundItems(ctx context.Context, g *bipartite.Graph, p Params) []bipartite.NodeID {
+func squareRoundItems(ctx context.Context, g *bipartite.Graph, p Params, ids []bipartite.NodeID, pool *counterPool) []bipartite.NodeID {
 	need := ceilMul(p.K1, p.Alpha)
-	ids := g.LiveItemIDs()
 	return parallelFilter(ctx, ids, p.workers(), func(c *commonCounter, v bipartite.NodeID) bool {
+		if !g.ItemAlive(v) {
+			return false
+		}
+		if h := testSquareEvalHook; h != nil {
+			h(bipartite.ItemSide, v)
+		}
 		return !squareSurvivesItem(g, v, need, p.K2, c)
-	}, g)
+	}, pool)
 }
 
 // parallelFilter returns the IDs for which pred is true, preserving input
-// order. Each worker owns a private counter. Workers poll ctx every 256
-// vertices and stop early when it is cancelled; the caller must treat a
-// cancelled round's output as truncated (pruneFixpoint re-checks ctx after
-// applying it).
+// order. Each worker leases a private counter from pool for the duration of
+// its chunk. Workers poll ctx every 256 vertices and stop early when it is
+// cancelled; the caller must treat a cancelled round's output as truncated
+// (the fixpoint loops re-check ctx after applying it).
 func parallelFilter(ctx context.Context, ids []bipartite.NodeID, workers int,
-	pred func(*commonCounter, bipartite.NodeID) bool, g *bipartite.Graph) []bipartite.NodeID {
+	pred func(*commonCounter, bipartite.NodeID) bool, pool *counterPool) []bipartite.NodeID {
 
 	if workers < 1 {
 		workers = 1
@@ -383,7 +690,11 @@ func parallelFilter(ctx context.Context, ids []bipartite.NodeID, workers int,
 		workers = len(ids)
 	}
 	if workers <= 1 {
-		c := newCommonCounter(g.NumUsers(), g.NumItems())
+		if len(ids) == 0 {
+			return nil
+		}
+		c := pool.get()
+		defer pool.put(c)
 		var out []bipartite.NodeID
 		for i, id := range ids {
 			if i&0xff == 0 && ctx.Err() != nil {
@@ -411,7 +722,8 @@ func parallelFilter(ctx context.Context, ids []bipartite.NodeID, workers int,
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			c := newCommonCounter(g.NumUsers(), g.NumItems())
+			c := pool.get()
+			defer pool.put(c)
 			for i := lo; i < hi; i++ {
 				if i&0xff == 0 && ctx.Err() != nil {
 					return

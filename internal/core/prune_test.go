@@ -181,8 +181,9 @@ func TestParallelFilterMatchesSerial(t *testing.T) {
 	pPar := pSerial
 	pPar.Workers = 8
 
-	serialU := squareRoundUsers(context.Background(), g, pSerial)
-	parU := squareRoundUsers(context.Background(), g, pPar)
+	pool := newCounterPool(g.NumUsers(), g.NumItems())
+	serialU := squareRoundUsers(context.Background(), g, pSerial, g.LiveUserIDs(), pool)
+	parU := squareRoundUsers(context.Background(), g, pPar, g.LiveUserIDs(), pool)
 	if len(serialU) != len(parU) {
 		t.Fatalf("victim counts differ: serial %d, parallel %d", len(serialU), len(parU))
 	}
@@ -259,7 +260,7 @@ func TestSortByDegreeBreaksTiesByNodeID(t *testing.T) {
 	g := b.Build()
 
 	ids := []bipartite.NodeID{4, 2, 0, 5, 3, 1}
-	sortByDegree(ids, g.ItemDegree)
+	sortByDegree(ids, g.ItemDegree, nil)
 	want := []bipartite.NodeID{5, 0, 1, 2, 3, 4} // degree 1 first, then ID order
 	for i := range want {
 		if ids[i] != want[i] {

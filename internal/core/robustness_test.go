@@ -54,6 +54,7 @@ func TestDetectContextCancelAtEverySite(t *testing.T) {
 		{"core.graph_generator", "graph_generator"},
 		{"core.extraction", "extraction"},
 		{"core.prune.round", "extraction"},
+		{"core.frontier", "extraction"},
 		{"core.extract", "extraction"},
 		{"core.screening", "screening"},
 		{"core.screen.group", "screening"},
@@ -188,7 +189,7 @@ func TestDetectContextCompleteRunHitsAllSites(t *testing.T) {
 	}
 	for _, site := range []string{
 		"core.hotset", "core.graph_generator", "core.extraction",
-		"core.prune.round", "core.extract",
+		"core.prune.round", "core.frontier", "core.extract",
 		"core.screening", "core.screen.group", "core.identification",
 	} {
 		if faultinject.HitCount(site) == 0 {

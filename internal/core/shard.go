@@ -131,7 +131,7 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 				if i < maxShardSpans {
 					ssp = sp.Start("shard")
 				}
-				outs[i] = runShard(ctx, g, comps[i], p, inner[i], ssp, collect)
+				outs[i] = runShard(ctx, g, comps[i], p, inner[i], ssp, o, collect)
 			}
 		}()
 	}
@@ -198,10 +198,13 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 }
 
 // runShard prunes one compacted component to its local fixpoint and, in
-// collect mode, extracts its candidate groups, all in original IDs. A panic
-// is recovered into the result for deterministic rethrow by the merger.
+// collect mode, extracts its candidate groups, all in original IDs. Each
+// shard's compact graph carries its own dirty frontier (attached inside
+// pruneFixpoint), sized to the component rather than the whole graph. A
+// panic is recovered into the result for deterministic rethrow by the
+// merger.
 func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
-	p Params, innerWorkers int, ssp *obs.Span, collect bool) (out shardResult) {
+	p Params, innerWorkers int, ssp *obs.Span, o *obs.Observer, collect bool) (out shardResult) {
 
 	start := time.Now()
 	defer func() {
@@ -226,7 +229,7 @@ func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
 	cg, userOf, itemOf := bipartite.CompactComponent(g, comp)
 	lp := p
 	lp.Workers = innerWorkers
-	lst, err := pruneFixpoint(ctx, cg, lp, ssp)
+	lst, err := pruneFixpoint(ctx, cg, lp, ssp, o)
 	out.rounds = lst.Rounds
 	for lu := 0; lu < cg.NumUsers(); lu++ {
 		if !cg.UserAlive(bipartite.NodeID(lu)) {

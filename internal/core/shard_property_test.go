@@ -19,6 +19,7 @@ func TestPropertyShardMergedStatsMatchWholeGraph(t *testing.T) {
 		g2 := g1.Clone()
 		serial := params(6, 6, 0.8)
 		serial.NoShard = true
+		serial.NoFrontier = true // the golden oracle is the full-rescan serial loop
 		sharded := params(6, 6, 0.8)
 		sharded.Workers = 4
 
@@ -59,6 +60,7 @@ func TestPropertyShardedExtractionMatchesSerial(t *testing.T) {
 		p := params(6, 6, 0.8)
 		serial := p
 		serial.NoShard = true
+		serial.NoFrontier = true
 
 		g1 := randomPruneGraph(seed)
 		g2 := g1.Clone()

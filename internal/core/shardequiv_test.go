@@ -9,11 +9,14 @@ import (
 )
 
 // This file is the golden-oracle equivalence harness for the
-// component-sharded detection pipeline (shard.go): across a corpus of ≥ 20
-// seeded synthetic workloads of varied shape and worker counts {1, 2, 8},
-// sharded detection must return exactly what the serial reference path
-// (Params.NoShard) returns — same groups in the same order, same membership
-// order, same risk scores, same per-group statistics, same pruning stats.
+// component-sharded detection pipeline (shard.go) and the dirty-frontier
+// pruning loop (pruneFixpointFrontier): across a corpus of ≥ 20 seeded
+// synthetic workloads of varied shape and worker counts {1, 2, 8}, every
+// mode combination must return exactly what the doubly-disabled reference
+// path (Params.NoShard + Params.NoFrontier: monolithic serial full-rescan
+// fixpoint) returns — same groups in the same order, same membership order,
+// same risk scores, same per-group statistics, same pruning stats including
+// Rounds.
 
 // equivCorpus returns the seeded workload corpus. Shapes vary deliberately:
 // marketplace size, attack-group count, near-biclique participation, and
@@ -76,16 +79,40 @@ func TestShardedDetectionMatchesSerialOracle(t *testing.T) {
 
 		serial := base
 		serial.NoShard = true
+		serial.NoFrontier = true
 		oracle, err := (&Detector{Params: serial}).Detect(ds.Graph)
 		if err != nil {
 			t.Fatalf("workload %d: serial oracle: %v", i, err)
 		}
 		totalGroups += len(oracle.Groups)
 
-		for _, w := range []int{1, 2, 8} {
-			t.Run(fmt.Sprintf("workload%02d/w%d", i, w), func(t *testing.T) {
+		// Candidate matrix: the default frontier+sharded mode across the
+		// worker sweep, plus — on a corpus prefix — the two one-knob-back
+		// modes (serial+frontier, sharded+rescan), so every NoShard ×
+		// NoFrontier combination is pinned to the doubly-disabled oracle.
+		type mode struct {
+			name       string
+			workers    int
+			noShard    bool
+			noFrontier bool
+		}
+		modes := []mode{
+			{"w1", 1, false, false},
+			{"w2", 2, false, false},
+			{"w8", 8, false, false},
+		}
+		if i < 6 {
+			modes = append(modes,
+				mode{"serial-frontier", 0, true, false},
+				mode{"w2-rescan", 2, false, true},
+			)
+		}
+		for _, m := range modes {
+			t.Run(fmt.Sprintf("workload%02d/%s", i, m.name), func(t *testing.T) {
 				p := base
-				p.Workers = w
+				p.Workers = m.workers
+				p.NoShard = m.noShard
+				p.NoFrontier = m.noFrontier
 				res, err := (&Detector{Params: p}).Detect(ds.Graph)
 				if err != nil {
 					t.Fatalf("sharded detect: %v", err)
@@ -126,8 +153,11 @@ func TestShardedDetectionMatchesSerialOracle(t *testing.T) {
 }
 
 // TestShardedPruneLeavesOracleResidual pins the other half of the contract:
-// not just the reported groups but the residual graph itself — PruneCtx under
-// sharding must leave exactly the serial fixpoint.
+// not just the reported groups but the residual graph itself — PruneCtx in
+// every mode combination must leave exactly the serial full-rescan fixpoint,
+// with identical PruneStats (Rounds included) and an identical removal
+// epoch (same number of removals applied, clone-inherited base cancelling
+// out).
 func TestShardedPruneLeavesOracleResidual(t *testing.T) {
 	for i, cfg := range equivCorpus()[:6] {
 		ds := synth.MustGenerate(cfg)
@@ -136,22 +166,37 @@ func TestShardedPruneLeavesOracleResidual(t *testing.T) {
 		serial := ds.Graph.Clone()
 		sp := p
 		sp.NoShard = true
+		sp.NoFrontier = true
 		stSerial := Prune(serial, sp)
 
-		for _, w := range []int{1, 2, 8} {
-			sharded := ds.Graph.Clone()
-			pp := p
-			pp.Workers = w
-			stSharded := Prune(sharded, pp)
-			if stSerial != stSharded {
-				t.Errorf("workload %d w=%d: stats = %+v, oracle %+v", i, w, stSharded, stSerial)
+		check := func(name string, pp Params) {
+			g := ds.Graph.Clone()
+			st := Prune(g, pp)
+			if stSerial != st {
+				t.Errorf("workload %d %s: stats = %+v, oracle %+v", i, name, st, stSerial)
 			}
-			if !reflect.DeepEqual(sharded.LiveUserIDs(), serial.LiveUserIDs()) {
-				t.Errorf("workload %d w=%d: surviving users diverge", i, w)
+			if !reflect.DeepEqual(g.LiveUserIDs(), serial.LiveUserIDs()) {
+				t.Errorf("workload %d %s: surviving users diverge", i, name)
 			}
-			if !reflect.DeepEqual(sharded.LiveItemIDs(), serial.LiveItemIDs()) {
-				t.Errorf("workload %d w=%d: surviving items diverge", i, w)
+			if !reflect.DeepEqual(g.LiveItemIDs(), serial.LiveItemIDs()) {
+				t.Errorf("workload %d %s: surviving items diverge", i, name)
+			}
+			if g.RemovalEpoch() != serial.RemovalEpoch() {
+				t.Errorf("workload %d %s: removal epoch %d, oracle %d",
+					i, name, g.RemovalEpoch(), serial.RemovalEpoch())
 			}
 		}
+		for _, w := range []int{1, 2, 8} {
+			pp := p
+			pp.Workers = w
+			check(fmt.Sprintf("w%d", w), pp)
+		}
+		pf := p
+		pf.NoShard = true
+		check("serial-frontier", pf)
+		pr := p
+		pr.Workers = 2
+		pr.NoFrontier = true
+		check("w2-rescan", pr)
 	}
 }

@@ -144,3 +144,65 @@ func TestMidShardCancelLeaksNoGoroutines(t *testing.T) {
 		t.Fatalf("follow-up sweep found %d groups, want 6", len(res.Groups))
 	}
 }
+
+// TestMidFrontierRoundCancelRestoresDirtySet cancels an incremental sweep
+// from inside a dirty-frontier pruning round (fault-injection site
+// "core.frontier", which fires at the top of every frontier evaluation
+// round) and asserts the PR-2/PR-3 robustness contract end to end: the
+// shard pool drains with no leaked goroutines, the sweep's truncated dirty
+// snapshot is merged back so nothing is lost, and the next sweep redoes the
+// work completely.
+func TestMidFrontierRoundCancelRestoresDirtySet(t *testing.T) {
+	defer faultinject.Reset()
+
+	p := smallParams()
+	p.Workers = 8
+	d, err := New(blockTable(6, 12, 15), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(); err != nil { // full warm-up sweep, caches 6 groups
+		t.Fatal(err)
+	}
+
+	// Dirty one attacker of block 0; its weight-15 edges to non-hot items
+	// pass the incremental seed filter, so the next sweep prunes its
+	// neighborhood — and reaches the frontier rounds.
+	d.AddClick(0, 0, 5)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm("core.frontier", faultinject.Fault{Do: cancel, Times: 1})
+
+	res, rerr := d.SweepContext(ctx)
+	if rerr == nil || !res.Partial {
+		t.Fatalf("expected a partial sweep, got partial=%v err=%v", res.Partial, rerr)
+	}
+	if faultinject.HitCount("core.frontier") == 0 {
+		t.Fatal("cancel fault never fired — the sweep did not reach a frontier round")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before sweep, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	d.mu.Lock()
+	_, stillDirty := d.dirty[0]
+	d.mu.Unlock()
+	if !stillDirty {
+		t.Fatal("aborted mid-frontier sweep dropped its dirty snapshot instead of merging it back")
+	}
+
+	res, rerr = d.SweepContext(context.Background())
+	if rerr != nil {
+		t.Fatalf("follow-up sweep: %v", rerr)
+	}
+	if len(res.Groups) != 6 {
+		t.Fatalf("follow-up sweep found %d groups, want 6", len(res.Groups))
+	}
+}

@@ -189,6 +189,14 @@ func (d *Detector) Sweep() (*detect.Result, error) {
 // (bounded by the detector's core.Params.Workers), so a sweep touching
 // several disjoint dirty neighborhoods prunes them concurrently while
 // producing output identical to a serial sweep.
+//
+// Pruning inside a sweep is frontier-driven end to end: an incremental
+// sweep's work graph is already scoped to the dirty users' neighborhoods
+// (GraphGeneratorBounded), so the frontier's all-dirty round-1 seed IS the
+// sweep's dirty set rather than a whole-component re-prime, and every later
+// round touches only vertices within two hops of an actual removal.
+// core.Params.NoFrontier (the stream CLI's -no-frontier) restores the
+// full-rescan rounds; output is identical either way.
 func (d *Detector) SweepContext(ctx context.Context) (*detect.Result, error) {
 	return d.DetectContext(ctx)
 }
@@ -233,6 +241,11 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 		sweepType = "full"
 	}
 	sp.Set("type", sweepType)
+	pruneMode := "frontier"
+	if params.NoFrontier {
+		pruneMode = "rescan"
+	}
+	sp.Set("prune_mode", pruneMode)
 	sp.SetInt("dirty_users", int64(len(dirty)))
 
 	var (
