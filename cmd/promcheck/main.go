@@ -1,0 +1,267 @@
+// Command promcheck validates Prometheus text exposition format 0.0.4 as
+// produced by the /metrics endpoint. It reads from stdin (or the file
+// named by its single argument), checks every line, and exits non-zero on
+// the first violation. On success it prints "OK: N samples".
+//
+// Checks, beyond line-level syntax:
+//   - metric and label names match the Prometheus grammar
+//   - sample values parse as Go floats (including +Inf, -Inf, NaN)
+//   - every *_bucket series has a parseable `le` label, its counts are
+//     cumulative (non-decreasing in file order), and the series ends with
+//     le="+Inf"
+//   - `# TYPE` appears at most once per metric, before its samples
+//
+// Used by the CI scrape-smoke job: start a CLI with -debug-addr, curl
+// /metrics, pipe through promcheck.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// bucketState tracks one histogram's cumulative-bucket invariant.
+type bucketState struct {
+	lastLe    float64
+	lastCount float64
+	sawInf    bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promcheck: ")
+	in := os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := check(bufio.NewScanner(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if samples == 0 {
+		log.Fatal("no samples found")
+	}
+	fmt.Printf("OK: %d samples\n", samples)
+}
+
+func check(sc *bufio.Scanner) (int, error) {
+	samples := 0
+	lineNo := 0
+	typed := map[string]string{} // metric name -> declared type
+	sampled := map[string]bool{} // metric names that have emitted a sample
+	buckets := map[string]*bucketState{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, typed, sampled); err != nil {
+				return 0, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line, sampled, buckets); err != nil {
+			return 0, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	for name, st := range buckets {
+		if !st.sawInf {
+			return 0, fmt.Errorf("histogram %s: bucket series does not end with le=\"+Inf\"", name)
+		}
+	}
+	return samples, nil
+}
+
+// checkComment validates "# TYPE" and "# HELP" lines; other comments pass.
+func checkComment(line string, typed map[string]string, sampled map[string]bool) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, kind := fields[2], fields[3]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", kind, name)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s appears after its samples", name)
+		}
+		typed[name] = kind
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// checkSample validates one "name{labels} value [timestamp]" line.
+func checkSample(line string, sampled map[string]bool, buckets map[string]*bucketState) error {
+	name, labels, rest, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	sampled[name] = true
+	// Mark the base metric too so a late TYPE for it is caught.
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			sampled[base] = true
+		}
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 1 || len(parts) > 2 {
+		return fmt.Errorf("expected value [timestamp] after %q, got %q", name, rest)
+	}
+	value, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return fmt.Errorf("%s: bad value %q", name, parts[0])
+	}
+	if len(parts) == 2 {
+		if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return fmt.Errorf("%s: bad timestamp %q", name, parts[1])
+		}
+	}
+	var le string
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l.name) {
+			return fmt.Errorf("%s: invalid label name %q", name, l.name)
+		}
+		if l.name == "le" {
+			le = l.value
+		}
+	}
+	if strings.HasSuffix(name, "_bucket") {
+		if le == "" {
+			return fmt.Errorf("%s: bucket sample without le label", name)
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("%s: le=%q is not a float", name, le)
+		}
+		st := buckets[name]
+		if st == nil {
+			st = &bucketState{lastLe: bound, lastCount: value}
+			buckets[name] = st
+		} else {
+			if st.sawInf {
+				// A second series of the same histogram (no other labels
+				// here) would restart; our exporter emits one series.
+				return fmt.Errorf("%s: bucket after le=\"+Inf\"", name)
+			}
+			if bound <= st.lastLe {
+				return fmt.Errorf("%s: le bounds not increasing (%v after %v)", name, bound, st.lastLe)
+			}
+			if value < st.lastCount {
+				return fmt.Errorf("%s: bucket counts not cumulative (%v after %v)", name, value, st.lastCount)
+			}
+			st.lastLe, st.lastCount = bound, value
+		}
+		if le == "+Inf" {
+			st.sawInf = true
+		}
+	}
+	return nil
+}
+
+type label struct{ name, value string }
+
+// splitSample splits a sample line into metric name, parsed labels, and
+// the remainder (value and optional timestamp).
+func splitSample(line string) (string, []label, string, error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("no value on line %q", line)
+		}
+		return line[:sp], nil, line[sp+1:], nil
+	}
+	name := line[:brace]
+	rest := line[brace+1:]
+	var labels []label
+	for {
+		rest = strings.TrimLeft(rest, " ,")
+		if rest == "" {
+			return "", nil, "", fmt.Errorf("unterminated label set on line %q", line)
+		}
+		if rest[0] == '}' {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, "", fmt.Errorf("malformed label on line %q", line)
+		}
+		lname := rest[:eq]
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", nil, "", fmt.Errorf("unquoted label value on line %q", line)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(rest[i])
+				default:
+					return "", nil, "", fmt.Errorf("bad escape in label value on line %q", line)
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", nil, "", fmt.Errorf("unterminated label value on line %q", line)
+		}
+		labels = append(labels, label{lname, val.String()})
+	}
+	rest = strings.TrimLeft(rest, " ")
+	return name, labels, rest, nil
+}

@@ -11,7 +11,11 @@
 //	     [-timeout 30s]                # wall-clock budget for the run
 //	     [-trace out.json]             # write the stage trace as JSON
 //	     [-trace-tree]                 # print the stage tree after the run
-//	     [-debug-addr :6060]           # serve /debug/pprof and /debug/vars
+//	     [-audit out.jsonl]            # write the explainable audit trail (JSONL)
+//	     [-runs]                       # print the run ledger as JSON after the run
+//	     [-debug-addr :6060]           # serve /debug/pprof, /debug/vars,
+//	                                   # /metrics (Prometheus) and /debug/runs
+//	     [-hold 30s]                   # keep the debug server up after the run
 //
 // SIGINT/SIGTERM (and -timeout expiry) cancel the in-flight detection
 // cooperatively: the partial results computed so far are still printed,
@@ -70,7 +74,10 @@ func run() int {
 		listAlgos = flag.Bool("list-algos", false, "list available detectors and exit")
 		tracePath = flag.String("trace", "", "write the run's stage trace to this file as JSON")
 		traceTree = flag.Bool("trace-tree", false, "print the human-readable stage tree after the run")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
+		auditPath = flag.String("audit", "", "write the explainable audit trail to this file as JSON Lines")
+		runsFlag  = flag.Bool("runs", false, "print the run ledger (per-run stage timings and counters) as JSON after the run")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar, Prometheus /metrics and /debug/runs on this address (e.g. :6060)")
+		hold      = flag.Duration("hold", 0, "keep the debug server running this long after the run (for scraping); interrupted by SIGINT")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the run; on expiry partial results are printed and the exit status is 2")
 		workers   = flag.Int("workers", 0, "worker goroutines for the sharded detection pipeline (0 = GOMAXPROCS)")
 		serial    = flag.Bool("serial", false, "run the single-goroutine reference pipeline instead of the sharded one (identical output)")
@@ -100,15 +107,21 @@ func run() int {
 		defer cancel()
 	}
 
-	observer, debugSrv := startObservability(*tracePath, *traceTree, *debugAddr)
+	observer, debugSrv, auditFile, err := startObservability("ricd", *tracePath, *traceTree, *auditPath, *runsFlag, *debugAddr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
 	defer stopDebugServer(debugSrv)
+	defer closeAudit(auditFile, observer)
 
 	if *algo != "" && !strings.EqualFold(*algo, "ricd") {
 		if err := runAlgo(*algo, *in, *labels, *k1, *k2, *alpha, *thot, uint32(*tclick)); err != nil {
 			log.Print(err)
 			return 1
 		}
-		finishObservability(observer, *tracePath, *traceTree)
+		finishObservability(observer, *tracePath, *traceTree, *runsFlag)
+		holdDebug(ctx, debugSrv, *hold)
 		return 0
 	}
 
@@ -205,37 +218,63 @@ func run() int {
 			*labels, truth.NumAbnormal(), ev)
 	}
 
-	finishObservability(observer, *tracePath, *traceTree)
+	finishObservability(observer, *tracePath, *traceTree, *runsFlag)
+	holdDebug(ctx, debugSrv, *hold)
 	if err != nil || rep.Partial {
 		return 2 // cut-short or panic-degraded run: results incomplete
 	}
 	return 0
 }
 
+// ledgerSize bounds the run ledger: enough for a feedback loop's inner
+// runs plus surrounding activity, small enough that /debug/runs stays a
+// quick read.
+const ledgerSize = 64
+
 // startObservability builds the run's observer when any observability flag
 // is set, and starts the pprof/expvar debug server. The returned observer
 // is nil (free no-op) when all flags are off; the returned server is
 // non-nil only when debugAddr was set, and is shut down via
-// stopDebugServer so in-flight debug requests drain on exit.
-func startObservability(tracePath string, traceTree bool, debugAddr string) (*obs.Observer, *http.Server) {
-	if tracePath == "" && !traceTree && debugAddr == "" {
-		return nil, nil
+// stopDebugServer so in-flight debug requests drain on exit. With -audit
+// the observer carries a JSONL event sink over the returned file (closed
+// via closeAudit); with -runs or a debug server it carries a bounded run
+// ledger served at /debug/runs.
+func startObservability(namespace, tracePath string, traceTree bool, auditPath string,
+	runs bool, debugAddr string) (*obs.Observer, *http.Server, *os.File, error) {
+
+	if tracePath == "" && !traceTree && auditPath == "" && !runs && debugAddr == "" {
+		return nil, nil, nil, nil
 	}
-	o := obs.NewObserver("ricd")
+	o := obs.NewObserver(namespace)
+	var auditFile *os.File
+	if auditPath != "" {
+		f, err := os.Create(auditPath)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("-audit: %w", err)
+		}
+		auditFile = f
+		o.Events = obs.NewEventSink(f, 0)
+	}
+	if runs || debugAddr != "" {
+		o.Ledger = obs.NewLedger(ledgerSize)
+	}
 	var srv *http.Server
 	if debugAddr != "" {
 		// Importing net/http/pprof and expvar registers /debug/pprof/ and
-		// /debug/vars on the default mux; the metrics snapshot joins them.
-		expvar.Publish("ricd_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		// /debug/vars on the default mux; the snapshot map, the Prometheus
+		// exposition, and the run ledger join them.
+		expvar.Publish(namespace+"_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		http.Handle("/metrics", obs.MetricsHandler(namespace, o.Metrics))
+		http.Handle("/debug/runs", obs.RunsHandler(o.Ledger))
 		srv = &http.Server{Addr: debugAddr}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("debug server: %v", err)
 			}
 		}()
-		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars)\n", debugAddr)
+		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars, /metrics, /debug/runs)\n", debugAddr)
 	}
-	return o, srv
+	return o, srv, auditFile, nil
 }
 
 // stopDebugServer gracefully shuts down the debug server (nil is a no-op),
@@ -251,8 +290,37 @@ func stopDebugServer(srv *http.Server) {
 	}
 }
 
-// finishObservability ends the trace and emits it as requested.
-func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
+// holdDebug keeps the process alive (and the debug server scrapeable) for
+// the -hold duration, or until the run context is cancelled (SIGINT).
+func holdDebug(ctx context.Context, srv *http.Server, d time.Duration) {
+	if srv == nil || d <= 0 {
+		return
+	}
+	fmt.Printf("holding debug server for %v (interrupt to exit sooner)\n", d)
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// closeAudit flushes and closes the -audit file, surfacing any write error
+// the sink latched mid-run.
+func closeAudit(f *os.File, o *obs.Observer) {
+	if f == nil {
+		return
+	}
+	if o != nil && o.Events != nil {
+		if err := o.Events.Err(); err != nil {
+			log.Printf("-audit: %v", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("-audit: %v", err)
+	}
+}
+
+// finishObservability ends the trace and emits the requested artifacts.
+func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool) {
 	if o == nil {
 		return
 	}
@@ -261,16 +329,22 @@ func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
 		data, err := o.Trace.JSON()
 		if err != nil {
 			log.Printf("-trace: %v", err)
-			return
-		}
-		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+		} else if err := os.WriteFile(tracePath, data, 0o644); err != nil {
 			log.Printf("-trace: %v", err)
-			return
+		} else {
+			fmt.Printf("stage trace written to %s\n", tracePath)
 		}
-		fmt.Printf("stage trace written to %s\n", tracePath)
 	}
 	if traceTree {
 		fmt.Print(o.Trace.Tree())
+	}
+	if runs {
+		data, err := o.Ledger.JSON()
+		if err != nil {
+			log.Printf("-runs: %v", err)
+		} else {
+			fmt.Printf("run ledger:\n%s\n", data)
+		}
 	}
 }
 

@@ -7,7 +7,15 @@
 //
 //	synthgen -out clicks.csv -labels labels.csv -events events.csv
 //	stream -events events.csv [-thot 1000] [-tclick 12] [-labels labels.csv]
-//	       [-timeout 1m] [-trace out.json] [-trace-tree] [-debug-addr :6060]
+//	       [-timeout 1m] [-trace out.json] [-trace-tree] [-audit out.jsonl]
+//	       [-runs] [-debug-addr :6060] [-hold 30s]
+//
+// -audit streams one JSONL audit event per pipeline decision (prune
+// removals, screening drops, feedback widenings, sweep boundaries,
+// verdicts) to the given file. -runs prints the bounded per-sweep run
+// ledger after the replay. With -debug-addr the debug server also exposes
+// Prometheus text-format metrics at /metrics and the run ledger at
+// /debug/runs; -hold keeps it scrapeable after the replay finishes.
 //
 // SIGINT/SIGTERM (and -timeout expiry) cancel the in-flight sweep
 // cooperatively: the interrupted sweep's partial findings are reported,
@@ -54,7 +62,10 @@ func run() int {
 		labelsPath = flag.String("labels", "", "optional ground-truth label CSV for per-day evaluation")
 		tracePath  = flag.String("trace", "", "write the replay's stage trace to this file as JSON")
 		traceTree  = flag.Bool("trace-tree", false, "print the human-readable stage tree after the replay")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
+		auditPath  = flag.String("audit", "", "write the explainable audit trail to this file as JSONL (one event per pipeline decision)")
+		runsFlag   = flag.Bool("runs", false, "print the per-sweep run ledger (JSON) after the replay")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, /metrics (Prometheus text) and /debug/runs on this address (e.g. :6060)")
+		hold       = flag.Duration("hold", 0, "keep the debug server running this long after the replay (for scraping); interrupted by SIGINT")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole replay; on expiry the exit status is 2")
 		workers    = flag.Int("workers", 0, "worker goroutines for the sharded sweep pipeline (0 = GOMAXPROCS)")
 		noFront    = flag.Bool("no-frontier", false, "rescan every live vertex each pruning round instead of the dirty frontier (identical output)")
@@ -109,8 +120,13 @@ func run() int {
 		log.Print(err)
 		return 1
 	}
-	observer, debugSrv := startObservability(*tracePath, *traceTree, *debugAddr)
+	observer, debugSrv, auditFile, err := startObservability("stream", *tracePath, *traceTree, *auditPath, *runsFlag, *debugAddr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
 	defer stopDebugServer(debugSrv)
+	defer closeAudit(auditFile, observer)
 	det.Obs = observer
 
 	day := events[0].Day
@@ -154,7 +170,8 @@ func run() int {
 		flush(day)
 	}
 
-	finishObservability(observer, *tracePath, *traceTree)
+	finishObservability(observer, *tracePath, *traceTree, *runsFlag)
+	holdDebug(ctx, debugSrv, *hold)
 	if interrupted {
 		log.Print("replay interrupted — results above are incomplete")
 		return 2
@@ -162,29 +179,53 @@ func run() int {
 	return 0
 }
 
+// ledgerSize bounds the run ledger: one summary per daily sweep, so 64
+// covers a two-month replay while /debug/runs stays a quick read.
+const ledgerSize = 64
+
 // startObservability builds the replay's observer when any observability
 // flag is set, and starts the pprof/expvar debug server. Returns a nil
 // observer (free no-op) when all flags are off; the returned server is
-// non-nil only when debugAddr was set.
-func startObservability(tracePath string, traceTree bool, debugAddr string) (*obs.Observer, *http.Server) {
-	if tracePath == "" && !traceTree && debugAddr == "" {
-		return nil, nil
+// non-nil only when debugAddr was set. With -audit the observer carries a
+// JSONL event sink over the returned file (closed via closeAudit); with
+// -runs or a debug server it carries a bounded run ledger served at
+// /debug/runs.
+func startObservability(namespace, tracePath string, traceTree bool, auditPath string,
+	runs bool, debugAddr string) (*obs.Observer, *http.Server, *os.File, error) {
+
+	if tracePath == "" && !traceTree && auditPath == "" && !runs && debugAddr == "" {
+		return nil, nil, nil, nil
 	}
-	o := obs.NewObserver("stream")
+	o := obs.NewObserver(namespace)
+	var auditFile *os.File
+	if auditPath != "" {
+		f, err := os.Create(auditPath)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("-audit: %w", err)
+		}
+		auditFile = f
+		o.Events = obs.NewEventSink(f, 0)
+	}
+	if runs || debugAddr != "" {
+		o.Ledger = obs.NewLedger(ledgerSize)
+	}
 	var srv *http.Server
 	if debugAddr != "" {
 		// Importing net/http/pprof and expvar registers /debug/pprof/ and
-		// /debug/vars on the default mux; the metrics snapshot joins them.
-		expvar.Publish("stream_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		// /debug/vars on the default mux; the snapshot map, the Prometheus
+		// exposition, and the run ledger join them.
+		expvar.Publish(namespace+"_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		http.Handle("/metrics", obs.MetricsHandler(namespace, o.Metrics))
+		http.Handle("/debug/runs", obs.RunsHandler(o.Ledger))
 		srv = &http.Server{Addr: debugAddr}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("debug server: %v", err)
 			}
 		}()
-		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars)\n", debugAddr)
+		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars, /metrics, /debug/runs)\n", debugAddr)
 	}
-	return o, srv
+	return o, srv, auditFile, nil
 }
 
 // stopDebugServer gracefully shuts down the debug server (nil is a no-op),
@@ -200,8 +241,37 @@ func stopDebugServer(srv *http.Server) {
 	}
 }
 
-// finishObservability ends the trace and emits it as requested.
-func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
+// holdDebug keeps the process alive (and the debug server scrapeable) for
+// the -hold duration, or until the replay context is cancelled (SIGINT).
+func holdDebug(ctx context.Context, srv *http.Server, d time.Duration) {
+	if srv == nil || d <= 0 {
+		return
+	}
+	fmt.Printf("holding debug server for %v (interrupt to exit sooner)\n", d)
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// closeAudit flushes and closes the -audit file, surfacing any write error
+// the sink latched mid-replay.
+func closeAudit(f *os.File, o *obs.Observer) {
+	if f == nil {
+		return
+	}
+	if o != nil && o.Events != nil {
+		if err := o.Events.Err(); err != nil {
+			log.Printf("-audit: %v", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("-audit: %v", err)
+	}
+}
+
+// finishObservability ends the trace and emits the requested artifacts.
+func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool) {
 	if o == nil {
 		return
 	}
@@ -210,16 +280,22 @@ func finishObservability(o *obs.Observer, tracePath string, traceTree bool) {
 		data, err := o.Trace.JSON()
 		if err != nil {
 			log.Printf("-trace: %v", err)
-			return
-		}
-		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+		} else if err := os.WriteFile(tracePath, data, 0o644); err != nil {
 			log.Printf("-trace: %v", err)
-			return
+		} else {
+			fmt.Printf("stage trace written to %s\n", tracePath)
 		}
-		fmt.Printf("stage trace written to %s\n", tracePath)
 	}
 	if traceTree {
 		fmt.Print(o.Trace.Tree())
+	}
+	if runs {
+		data, err := o.Ledger.JSON()
+		if err != nil {
+			log.Printf("-runs: %v", err)
+		} else {
+			fmt.Printf("run ledger:\n%s\n", data)
+		}
 	}
 }
 

@@ -136,7 +136,26 @@ type Config struct {
 	// NewObserver("ricd") and export via its Trace/Metrics fields. A nil
 	// Observer disables all instrumentation at no cost.
 	Observer *obs.Observer
+	// Audit, when non-nil, receives the run's explainable audit trail:
+	// one structured event (AuditEvent) per pipeline decision — every
+	// pruned vertex with the bound that removed it, every screened-out
+	// node with the check it failed, every feedback widening with old and
+	// new parameters, and every final group verdict with its risk score.
+	// Construct one with NewAuditSink. Works with or without Observer; a
+	// nil Audit disables the trail at no cost (events are never built).
+	Audit *obs.EventSink
 }
+
+// AuditEvent is one entry of the detection audit trail; see the obs
+// package's Event documentation for the field semantics. Events serialize
+// as JSONL via the sink's writer.
+type AuditEvent = obs.Event
+
+// NewAuditSink returns an audit sink for Config.Audit. Events are written
+// to w as JSON Lines (one event per line, concurrency-safe, never torn)
+// and the last `ring` events are retained in memory (0 disables
+// retention). A nil w with ring > 0 gives a memory-only sink.
+func NewAuditSink(w io.Writer, ring int) *obs.EventSink { return obs.NewEventSink(w, ring) }
 
 // NewObserver returns an observability hook for Config.Observer: a stage
 // trace rooted at rootName plus a metrics registry. Re-exported from the
@@ -277,12 +296,30 @@ func DetectContext(ctx context.Context, g *Graph, cfg Config) (*Report, error) {
 	d := &core.Detector{Params: params, Seeds: detect.Seeds{
 		Users: cfg.SeedUsers,
 		Items: cfg.SeedItems,
-	}, Obs: cfg.Observer}
+	}, Obs: auditObserver(cfg)}
 	if cfg.SkipScreening {
 		d.Variant = core.VariantUI
 	}
 	res, err := d.DetectContext(ctx, bg)
 	return finishReport(bg, res, params, cfg.Observer, err)
+}
+
+// auditObserver returns the observer the pipeline should run under:
+// cfg.Observer, augmented with cfg.Audit as its event sink. Auditing
+// without an Observer gets a private observer carrying just the sink, so
+// Report.Trace stays nil exactly when Config.Observer was nil.
+func auditObserver(cfg Config) *obs.Observer {
+	if cfg.Audit == nil {
+		return cfg.Observer
+	}
+	o := cfg.Observer
+	if o == nil {
+		o = obs.NewObserver("ricd")
+	}
+	if o.Events == nil {
+		o.Events = cfg.Audit
+	}
+	return o
 }
 
 // DetectWithExpectation runs Detect and, if the output is smaller than
@@ -306,7 +343,7 @@ func DetectWithExpectationContext(ctx context.Context, g *Graph, cfg Config,
 	if err != nil {
 		return nil, err
 	}
-	fr, err := core.DetectWithFeedbackContext(ctx, bg, params, expectedNodes, maxRounds, cfg.Observer)
+	fr, err := core.DetectWithFeedbackContext(ctx, bg, params, expectedNodes, maxRounds, auditObserver(cfg))
 	return finishReport(bg, fr.Result, fr.Params, cfg.Observer, err)
 }
 

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/obs"
+)
+
+// auditor threads the structured audit trail (obs.EventSink) through the
+// pipeline internals. The nil *auditor is the disabled path: every method
+// returns before building its event, so instrumented loops pay one nil
+// check and zero allocations when auditing is off — the same contract as
+// the nil observer.
+//
+// Sharded pruning runs on compacted component graphs whose vertex IDs are
+// local (bipartite.CompactComponent); forShard derives a translating
+// auditor from the shard's local→original maps, so every emitted event
+// carries IDs in the original graph's namespace regardless of which path
+// produced it.
+type auditor struct {
+	sink   *obs.EventSink
+	shard  int                // 1-based shard index, 0 outside shards
+	userOf []bipartite.NodeID // local → original user IDs; nil outside shards
+	itemOf []bipartite.NodeID
+}
+
+// newAuditor returns the observer's auditor, or nil when no event sink is
+// attached (the free default).
+func newAuditor(o *obs.Observer) *auditor {
+	if s := o.Sink(); s != nil {
+		return &auditor{sink: s}
+	}
+	return nil
+}
+
+// forShard returns an auditor stamping events with the shard index and
+// translating compact-graph IDs back to original IDs.
+func (a *auditor) forShard(shard int, userOf, itemOf []bipartite.NodeID) *auditor {
+	if a == nil {
+		return nil
+	}
+	return &auditor{sink: a.sink, shard: shard, userOf: userOf, itemOf: itemOf}
+}
+
+func (a *auditor) translate(side bipartite.Side, id bipartite.NodeID) bipartite.NodeID {
+	if side == bipartite.UserSide {
+		if a.userOf != nil {
+			return a.userOf[id]
+		}
+		return id
+	}
+	if a.itemOf != nil {
+		return a.itemOf[id]
+	}
+	return id
+}
+
+// runStart brackets the opening of one detection run.
+func (a *auditor) runStart(variant string, users, items int) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{Type: obs.EventRunStart, Reason: variant, Users: users, Items: items})
+}
+
+// runEnd brackets the close of one run; partialStage is "" for a complete
+// run and the interrupted stage's name otherwise.
+func (a *auditor) runEnd(groups, users, items int, partialStage string) {
+	if a == nil {
+		return
+	}
+	e := obs.Event{Type: obs.EventRunEnd, Groups: groups, Users: users, Items: items}
+	if partialStage != "" {
+		e.Reason = "partial:" + partialStage
+	}
+	a.sink.Emit(e)
+}
+
+// coreRemoval records one CorePruning removal: the vertex's live degree
+// fell below the Lemma 1 bound (⌈α·k₂⌉ for users, ⌈α·k₁⌉ for items).
+func (a *auditor) coreRemoval(side bipartite.Side, id bipartite.NodeID, round, deg, minDeg int) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventPruneRemove,
+		Side:   side.String(),
+		ID:     uint32(a.translate(side, id)),
+		Round:  round,
+		Shard:  a.shard,
+		Reason: "core.degree",
+		Stat:   fmt.Sprintf("deg=%d min=%d", deg, minDeg),
+	})
+}
+
+// squareRemovals records one round's SquarePruning victims: each vertex
+// had fewer than k (α,·)-neighbors, i.e. fewer than k counterparts sharing
+// at least `need` common neighbors with it (Lemma 2).
+func (a *auditor) squareRemovals(side bipartite.Side, victims []bipartite.NodeID, round, need, k int) {
+	if a == nil || len(victims) == 0 {
+		return
+	}
+	stat := fmt.Sprintf("ak_neighbors<%d need=%d", k, need)
+	for _, id := range victims {
+		a.sink.Emit(obs.Event{
+			Type:   obs.EventPruneRemove,
+			Side:   side.String(),
+			ID:     uint32(a.translate(side, id)),
+			Round:  round,
+			Shard:  a.shard,
+			Reason: "square.neighbors",
+			Stat:   stat,
+		})
+	}
+}
+
+// squareRemoval is the single-vertex form used by the literal single-pass
+// mode's immediate removals.
+func (a *auditor) squareRemoval(side bipartite.Side, id bipartite.NodeID, round, need, k int) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventPruneRemove,
+		Side:   side.String(),
+		ID:     uint32(a.translate(side, id)),
+		Round:  round,
+		Shard:  a.shard,
+		Reason: "square.neighbors",
+		Stat:   fmt.Sprintf("ak_neighbors<%d need=%d", k, need),
+	})
+}
+
+// shardDone marks one component shard's pruning boundary.
+func (a *auditor) shardDone(shard, users, items, rounds, removed int) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:  obs.EventShardDone,
+		Shard: shard,
+		Users: users,
+		Items: items,
+		Round: rounds,
+		Stat:  fmt.Sprintf("removed=%d", removed),
+	})
+}
+
+// Screening drops. group is the 1-based candidate-group index (extraction
+// order, before the final repartition renumbers survivors).
+
+// dropUserNoAttackEdge: the user behavior check found no in-group ordinary
+// item clicked ≥ T_click times (Fig 5 condition (1)).
+func (a *auditor) dropUserNoAttackEdge(group int, u bipartite.NodeID, maxOrdinary, tClick uint32) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventScreenDrop,
+		Side:   "user",
+		ID:     uint32(u),
+		Group:  group,
+		Reason: "user.no_attack_edge",
+		Stat:   fmt.Sprintf("max_ordinary_clicks=%d t_click=%d", maxOrdinary, tClick),
+	})
+}
+
+// dropUserHotAvg: the user's average clicks on in-group hot items reached
+// MaxHotAvg (Fig 5 condition (2) — attackers touch hot items minimally).
+func (a *auditor) dropUserHotAvg(group int, u bipartite.NodeID, avg, max float64) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventScreenDrop,
+		Side:   "user",
+		ID:     uint32(u),
+		Group:  group,
+		Reason: "user.hot_avg",
+		Stat:   fmt.Sprintf("hot_avg=%.1f max=%.1f", avg, max),
+	})
+}
+
+// dropUserNoVerifiedTarget: every item the user supported failed item
+// behavior verification, so no attack target remains for them.
+func (a *auditor) dropUserNoVerifiedTarget(group int, u bipartite.NodeID) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventScreenDrop,
+		Side:   "user",
+		ID:     uint32(u),
+		Group:  group,
+		Reason: "user.no_verified_target",
+	})
+}
+
+// dropItemHot: hot items are the ridden victims, never targets (Fig 6).
+func (a *auditor) dropItemHot(group int, v bipartite.NodeID) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventScreenDrop,
+		Side:   "item",
+		ID:     uint32(v),
+		Group:  group,
+		Reason: "item.hot",
+	})
+}
+
+// dropItemGroupDissolved: the user behavior check rejected every user in
+// the candidate group, so its items fall with no surviving clickers to
+// verify them against.
+func (a *auditor) dropItemGroupDissolved(group int, v bipartite.NodeID) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventScreenDrop,
+		Side:   "item",
+		ID:     uint32(v),
+		Group:  group,
+		Reason: "item.group_dissolved",
+	})
+}
+
+// dropItemSupporters: the clicked-user-set coincidence test failed — fewer
+// than ⌈α·k₁⌉ surviving users clicked the item ≥ T_click times (Fig 6).
+func (a *auditor) dropItemSupporters(group int, v bipartite.NodeID, supporters, need int) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:   obs.EventScreenDrop,
+		Side:   "item",
+		ID:     uint32(v),
+		Group:  group,
+		Reason: "item.supporters",
+		Stat:   fmt.Sprintf("supporters=%d need=%d", supporters, need),
+	})
+}
+
+// groupVerdict records one final group with its risk score and forensic
+// evidence — the record an analyst reviews before acting.
+func (a *auditor) groupVerdict(group, users, items int, score float64, st GroupStats) {
+	if a == nil {
+		return
+	}
+	a.sink.Emit(obs.Event{
+		Type:  obs.EventGroupVerdict,
+		Group: group,
+		Users: users,
+		Items: items,
+		Score: score,
+		Stat: fmt.Sprintf("density=%.3f mean_edge_clicks=%.1f outside_share=%.3f",
+			st.Density, st.MeanEdgeClicks, st.OutsideShare),
+	})
+}
+
+// widenEvents records the feedback loop's parameter relaxations: one event
+// per knob that moved, old→new (Fig 7's adjustment step).
+func (a *auditor) widenEvents(iteration int, old, relaxed Params) {
+	if a == nil {
+		return
+	}
+	emit := func(knob, oldV, newV string) {
+		a.sink.Emit(obs.Event{
+			Type:   obs.EventFeedbackWiden,
+			Round:  iteration,
+			Reason: knob,
+			Old:    oldV,
+			New:    newV,
+		})
+	}
+	if old.TClick != relaxed.TClick {
+		emit("t_click", fmt.Sprintf("%d", old.TClick), fmt.Sprintf("%d", relaxed.TClick))
+	}
+	if old.Alpha != relaxed.Alpha {
+		emit("alpha", fmt.Sprintf("%.2f", old.Alpha), fmt.Sprintf("%.2f", relaxed.Alpha))
+	}
+	if old.K1 != relaxed.K1 {
+		emit("k1", fmt.Sprintf("%d", old.K1), fmt.Sprintf("%d", relaxed.K1))
+	}
+	if old.K2 != relaxed.K2 {
+		emit("k2", fmt.Sprintf("%d", old.K2), fmt.Sprintf("%d", relaxed.K2))
+	}
+}

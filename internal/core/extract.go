@@ -160,7 +160,7 @@ func NearBicliqueExtractCtx(ctx context.Context, work *bipartite.Graph, p Params
 		psp.Set("mode", "sharded")
 		st, groups, err = shardedPruneExtract(ctx, work, p, psp, o, true)
 	} else {
-		st, err = PruneCtx(ctx, work, p, psp)
+		st, err = pruneCtxObserved(ctx, work, p, psp, o)
 	}
 	psp.SetInt("rounds", int64(st.Rounds))
 	psp.SetInt("users_removed", int64(st.UsersRemoved))

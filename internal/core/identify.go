@@ -157,6 +157,7 @@ func DetectWithFeedbackContext(ctx context.Context, g *bipartite.Graph, p Params
 	if maxIters < 1 {
 		maxIters = 1
 	}
+	a := newAuditor(o)
 	fr := FeedbackResult{Params: p}
 	lastGood := p // params of the last COMPLETE run held in fr.Result
 	defer func() {
@@ -198,6 +199,7 @@ func DetectWithFeedbackContext(ctx context.Context, g *bipartite.Graph, p Params
 		if !ok {
 			return fr, nil // nothing left to relax
 		}
+		a.widenEvents(i+1, fr.Params, relaxed)
 		fr.Params = relaxed
 	}
 	return fr, nil

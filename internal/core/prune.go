@@ -66,14 +66,22 @@ func PruneTraced(g *bipartite.Graph, p Params, sp *obs.Span) PruneStats {
 // component-sharded orchestration (shard.go); the residual graph and the
 // stats are identical to the serial path's.
 func PruneCtx(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
+	return pruneCtxObserved(ctx, g, p, sp, nil)
+}
+
+// pruneCtxObserved is PruneCtx carrying the pipeline's observer so the
+// frontier metrics and the audit trail reach internal callers (extract.go);
+// the exported entry points pass nil.
+func pruneCtxObserved(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer) (PruneStats, error) {
+	a := newAuditor(o)
 	if p.SinglePass {
-		return pruneSinglePass(ctx, g, p, sp)
+		return pruneSinglePass(ctx, g, p, sp, a)
 	}
 	if p.sharded() {
-		st, _, err := shardedPruneExtract(ctx, g, p, sp, nil, false)
+		st, _, err := shardedPruneExtract(ctx, g, p, sp, o, false)
 		return st, err
 	}
-	return pruneFixpoint(ctx, g, p, sp, nil)
+	return pruneFixpoint(ctx, g, p, sp, o, a)
 }
 
 // testSquareEvalHook, when non-nil, is invoked for every live vertex whose
@@ -86,18 +94,18 @@ var testSquareEvalHook func(side bipartite.Side, id bipartite.NodeID)
 // pruneFixpoint computes the Core/Square fixpoint of Algorithm 3, selecting
 // the dirty-frontier loop unless p.NoFrontier requests the full-rescan
 // reference path. o (nil-safe) receives the core.frontier metrics.
-func pruneFixpoint(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer) (PruneStats, error) {
+func pruneFixpoint(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer, a *auditor) (PruneStats, error) {
 	if p.NoFrontier {
-		return pruneFixpointRescan(ctx, g, p, sp)
+		return pruneFixpointRescan(ctx, g, p, sp, a)
 	}
-	return pruneFixpointFrontier(ctx, g, p, sp, o)
+	return pruneFixpointFrontier(ctx, g, p, sp, o, a)
 }
 
 // pruneFixpointRescan is the reference fixpoint loop: every round re-evaluates
 // the square condition for every live vertex. It is retained as the golden
 // oracle the frontier loop is pinned against (shardequiv_test.go) and as the
 // Params.NoFrontier escape hatch.
-func pruneFixpointRescan(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
+func pruneFixpointRescan(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, a *auditor) (PruneStats, error) {
 	var st PruneStats
 	pool := newCounterPool(g.NumUsers(), g.NumItems())
 	for {
@@ -107,12 +115,14 @@ func pruneFixpointRescan(ctx context.Context, g *bipartite.Graph, p Params, sp *
 		}
 		st.Rounds++
 		rsp := sp.Start("round")
-		removed := corePruneFixpoint(g, p)
+		removed := corePruneFixpoint(g, p, a, st.Rounds)
 		uVictims := squareRoundUsers(ctx, g, p, g.LiveUserIDs(), pool)
+		a.squareRemovals(bipartite.UserSide, uVictims, st.Rounds, ceilMul(p.K2, p.Alpha), p.K1)
 		for _, u := range uVictims {
 			g.RemoveUser(u)
 		}
 		iVictims := squareRoundItems(ctx, g, p, g.LiveItemIDs(), pool)
+		a.squareRemovals(bipartite.ItemSide, iVictims, st.Rounds, ceilMul(p.K1, p.Alpha), p.K2)
 		for _, v := range iVictims {
 			g.RemoveItem(v)
 		}
@@ -154,7 +164,7 @@ func pruneFixpointRescan(ctx context.Context, g *bipartite.Graph, p Params, sp *
 //  3. Taken frontiers are evaluated in ascending ID order with dead entries
 //     skipped, so the victim sequence matches the rescan loop's
 //     LiveUserIDs/LiveItemIDs order.
-func pruneFixpointFrontier(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer) (PruneStats, error) {
+func pruneFixpointFrontier(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, o *obs.Observer, a *auditor) (PruneStats, error) {
 	var st PruneStats
 	pool := newCounterPool(g.NumUsers(), g.NumItems())
 	fr := &frontier{
@@ -171,7 +181,7 @@ func pruneFixpointFrontier(ctx context.Context, g *bipartite.Graph, p Params, sp
 	}
 	st.Rounds = 1
 	rsp := sp.Start("round")
-	removed := corePruneFixpoint(g, p)
+	removed := corePruneFixpoint(g, p, a, st.Rounds)
 	prev := g.SetRemovalObserver(fr)
 	defer g.SetRemovalObserver(prev)
 
@@ -184,7 +194,7 @@ func pruneFixpointFrontier(ctx context.Context, g *bipartite.Graph, p Params, sp
 			}
 			st.Rounds++
 			rsp = sp.Start("round")
-			removed = corePruneFixpoint(g, p)
+			removed = corePruneFixpoint(g, p, a, st.Rounds)
 		}
 		faultinject.Hit("core.frontier")
 
@@ -196,6 +206,7 @@ func pruneFixpointFrontier(ctx context.Context, g *bipartite.Graph, p Params, sp
 			evalU = fr.users.take()
 		}
 		uVictims := squareRoundUsers(ctx, g, p, evalU, pool)
+		a.squareRemovals(bipartite.UserSide, uVictims, st.Rounds, ceilMul(p.K2, p.Alpha), p.K1)
 		for _, u := range uVictims {
 			g.RemoveUser(u)
 		}
@@ -211,6 +222,7 @@ func pruneFixpointFrontier(ctx context.Context, g *bipartite.Graph, p Params, sp
 			evalI = fr.items.take()
 		}
 		iVictims := squareRoundItems(ctx, g, p, evalI, pool)
+		a.squareRemovals(bipartite.ItemSide, iVictims, st.Rounds, ceilMul(p.K1, p.Alpha), p.K2)
 		for _, v := range iVictims {
 			g.RemoveItem(v)
 		}
@@ -368,7 +380,7 @@ func (f *frontier) expand() {
 	}
 }
 
-func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span) (PruneStats, error) {
+func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.Span, a *auditor) (PruneStats, error) {
 	var st PruneStats
 	st.Rounds = 1
 	pass := sp.Start("single_pass")
@@ -387,14 +399,16 @@ func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.
 	// CorePruning, literal: one scan of users, then one scan of items,
 	// reading live degrees (so earlier removals are visible).
 	g.EachLiveUser(func(u bipartite.NodeID) bool {
-		if g.UserDegree(u) < minUDeg {
+		if deg := g.UserDegree(u); deg < minUDeg {
+			a.coreRemoval(bipartite.UserSide, u, 1, deg, minUDeg)
 			g.RemoveUser(u)
 			st.UsersRemoved++
 		}
 		return true
 	})
 	g.EachLiveItem(func(v bipartite.NodeID) bool {
-		if g.ItemDegree(v) < minIDeg {
+		if deg := g.ItemDegree(v); deg < minIDeg {
+			a.coreRemoval(bipartite.ItemSide, v, 1, deg, minIDeg)
 			g.RemoveItem(v)
 			st.ItemsRemoved++
 		}
@@ -414,6 +428,7 @@ func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.
 			return false
 		}
 		if !squareSurvivesUser(g, u, needU, p.K1, counter) {
+			a.squareRemoval(bipartite.UserSide, u, 1, needU, p.K1)
 			g.RemoveUser(u)
 			st.UsersRemoved++
 		}
@@ -433,6 +448,7 @@ func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.
 			return false
 		}
 		if !squareSurvivesItem(g, v, needI, p.K2, counter) {
+			a.squareRemoval(bipartite.ItemSide, v, 1, needI, p.K2)
 			g.RemoveItem(v)
 			st.ItemsRemoved++
 		}
@@ -442,8 +458,10 @@ func pruneSinglePass(ctx context.Context, g *bipartite.Graph, p Params, sp *obs.
 }
 
 // corePruneFixpoint removes vertices violating the Lemma 1 degree bounds
-// until stable, propagating removals through a work queue.
-func corePruneFixpoint(g *bipartite.Graph, p Params) PruneStats {
+// until stable, propagating removals through a work queue. Each removal is
+// audited (a nil-safe) with the vertex's live degree at removal time and
+// the round of the enclosing square fixpoint.
+func corePruneFixpoint(g *bipartite.Graph, p Params, a *auditor, round int) PruneStats {
 	var st PruneStats
 	minUDeg := ceilMul(p.K2, p.Alpha)
 	minIDeg := ceilMul(p.K1, p.Alpha)
@@ -480,6 +498,7 @@ func corePruneFixpoint(g *bipartite.Graph, p Params) PruneStats {
 				nbrs = append(nbrs, v)
 				return true
 			})
+			a.coreRemoval(bipartite.UserSide, n.id, round, len(nbrs), minUDeg)
 			g.RemoveUser(n.id)
 			st.UsersRemoved++
 			for _, v := range nbrs {
@@ -496,6 +515,7 @@ func corePruneFixpoint(g *bipartite.Graph, p Params) PruneStats {
 				nbrs = append(nbrs, u)
 				return true
 			})
+			a.coreRemoval(bipartite.ItemSide, n.id, round, len(nbrs), minIDeg)
 			g.RemoveItem(n.id)
 			st.ItemsRemoved++
 			for _, u := range nbrs {

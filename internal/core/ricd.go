@@ -86,6 +86,36 @@ func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*dete
 	run.Set("variant", d.Variant.String())
 	start := time.Now()
 
+	a := newAuditor(o)
+	a.runStart(d.Variant.String(), g.LiveUsers(), g.LiveItems())
+	ledger := o.RunLedger()
+	var countersBefore map[string]int64
+	if ledger != nil {
+		countersBefore = o.Metrics.Counters()
+	}
+	// record files one RunSummary with the ledger: stage durations from the
+	// finished run span, outcome counts, and the run's own counter deltas.
+	record := func(res *detect.Result, err error) {
+		if ledger == nil {
+			return
+		}
+		sum := obs.RunSummary{
+			Root:       "ricd.detect",
+			DurationNS: res.Elapsed.Nanoseconds(),
+			Groups:     len(res.Groups),
+			Users:      len(res.Users()),
+			Items:      len(res.Items()),
+			Partial:    res.Partial,
+			Stage:      res.StageReached,
+			Stages:     obs.StagesOf(run.Export()),
+			Stats:      obs.CounterDelta(countersBefore, o.Metrics.Counters()),
+		}
+		if err != nil {
+			sum.Err = err.Error()
+		}
+		ledger.Record(sum)
+	}
+
 	var groups []detect.Group
 	detectDone := start
 
@@ -121,6 +151,10 @@ func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*dete
 		} else {
 			o.Counter("ricd.cancellations").Inc()
 		}
+		o.Counter("detect.partial").Inc()
+		o.Counter("detect.stage_reached." + stageName).Inc()
+		a.runEnd(len(res.Groups), len(res.Users()), len(res.Items()), stageName)
+		record(res, err)
 		return res, err
 	}
 
@@ -175,7 +209,7 @@ func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*dete
 			// No screening at all.
 			return nil
 		case VariantI:
-			groups = screenUsersOnly(g, groups, hot, p)
+			groups = screenUsersOnly(g, groups, hot, p, a)
 			return nil
 		default:
 			var serr error
@@ -202,6 +236,17 @@ func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*dete
 	}
 	isp.End()
 
+	// Final verdicts: one event per reported group, most suspicious first
+	// (scoreGroups already ordered them), with the risk score and the
+	// forensic statistics an analyst reviews before acting. Guarded so the
+	// disabled path never computes the stats.
+	if a != nil {
+		for i, grp := range res.Groups {
+			a.groupVerdict(i+1, len(grp.Users), len(grp.Items), grp.Score,
+				ComputeGroupStats(g, grp))
+		}
+	}
+
 	res.DetectElapsed = detectDone.Sub(start)
 	res.ScreenElapsed = time.Since(detectDone)
 	res.Elapsed = time.Since(start)
@@ -211,21 +256,25 @@ func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*dete
 	o.Histogram("ricd.detect").Observe(res.Elapsed)
 	o.Histogram("ricd.detect.detection").Observe(res.DetectElapsed)
 	o.Histogram("ricd.detect.screening").Observe(res.ScreenElapsed)
+	a.runEnd(len(res.Groups), len(res.Users()), len(res.Items()), "")
+	record(res, nil)
 	return res, nil
 }
 
 // screenUsersOnly is the RICD-I screening: user behavior check plus hot-item
 // exclusion, without item behavior verification.
-func screenUsersOnly(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Params) []detect.Group {
+func screenUsersOnly(g *bipartite.Graph, groups []detect.Group, hot *HotSet, p Params, a *auditor) []detect.Group {
 	var out []detect.Group
-	for _, grp := range groups {
-		users := UserBehaviorCheck(g, grp, hot, p)
+	for i, grp := range groups {
+		users := userBehaviorCheck(g, grp, hot, p, a, i+1)
 		if len(users) < p.K1 {
 			continue
 		}
 		var items []bipartite.NodeID
 		for _, v := range grp.Items {
-			if !hot.IsHot(v) {
+			if hot.IsHot(v) {
+				a.dropItemHot(i+1, v)
+			} else {
 				items = append(items, v)
 			}
 		}

@@ -29,6 +29,15 @@ import (
 // In the paper's Fig 5 example this is what removes u₁, whose only strong
 // edges go to a hot item.
 func UserBehaviorCheck(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params) []bipartite.NodeID {
+	return userBehaviorCheck(g, grp, hot, p, nil, 0)
+}
+
+// userBehaviorCheck is UserBehaviorCheck with auditing: every dropped user
+// produces a screen.drop event carrying the failed check and the statistic
+// that failed it. group is the 1-based candidate-group index.
+func userBehaviorCheck(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params,
+	a *auditor, group int) []bipartite.NodeID {
+
 	inGroup := make(map[bipartite.NodeID]bool, len(grp.Items))
 	for _, v := range grp.Items {
 		inGroup[v] = true
@@ -36,6 +45,7 @@ func UserBehaviorCheck(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Para
 	var kept []bipartite.NodeID
 	for _, u := range grp.Users {
 		var hotClicks, hotEdges int
+		var maxOrdinary uint32
 		hasAttackEdge := false
 		g.EachUserNeighbor(u, func(v bipartite.NodeID, w uint32) bool {
 			if !inGroup[v] {
@@ -44,17 +54,25 @@ func UserBehaviorCheck(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Para
 			if hot.IsHot(v) {
 				hotClicks += int(w)
 				hotEdges++
-			} else if w >= p.TClick {
-				hasAttackEdge = true
+			} else {
+				if w > maxOrdinary {
+					maxOrdinary = w
+				}
+				if w >= p.TClick {
+					hasAttackEdge = true
+				}
 			}
 			return true
 		})
 		if !hasAttackEdge {
+			a.dropUserNoAttackEdge(group, u, maxOrdinary, p.TClick)
 			continue
 		}
-		if p.MaxHotAvg > 0 && hotEdges > 0 &&
-			float64(hotClicks)/float64(hotEdges) >= p.MaxHotAvg {
-			continue
+		if p.MaxHotAvg > 0 && hotEdges > 0 {
+			if avg := float64(hotClicks) / float64(hotEdges); avg >= p.MaxHotAvg {
+				a.dropUserHotAvg(group, u, avg, p.MaxHotAvg)
+				continue
+			}
 		}
 		kept = append(kept, u)
 	}
@@ -75,6 +93,14 @@ func UserBehaviorCheck(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Para
 func ItemBehaviorVerification(g *bipartite.Graph, items []bipartite.NodeID,
 	users []bipartite.NodeID, hot *HotSet, p Params) []bipartite.NodeID {
 
+	return itemBehaviorVerification(g, items, users, hot, p, nil, 0)
+}
+
+// itemBehaviorVerification is ItemBehaviorVerification with auditing: hot
+// exclusions and failed supporter tests produce typed screen.drop events.
+func itemBehaviorVerification(g *bipartite.Graph, items []bipartite.NodeID,
+	users []bipartite.NodeID, hot *HotSet, p Params, a *auditor, group int) []bipartite.NodeID {
+
 	userSet := make(map[bipartite.NodeID]bool, len(users))
 	for _, u := range users {
 		userSet[u] = true
@@ -83,6 +109,7 @@ func ItemBehaviorVerification(g *bipartite.Graph, items []bipartite.NodeID,
 	var kept []bipartite.NodeID
 	for _, v := range items {
 		if hot.IsHot(v) {
+			a.dropItemHot(group, v)
 			continue
 		}
 		supporters := 0
@@ -99,6 +126,8 @@ func ItemBehaviorVerification(g *bipartite.Graph, items []bipartite.NodeID,
 		})
 		if verified {
 			kept = append(kept, v)
+		} else {
+			a.dropItemSupporters(group, v, supporters, minSupporters)
 		}
 	}
 	return kept
@@ -176,17 +205,18 @@ func ScreenGroupsCtx(ctx context.Context, g *bipartite.Graph, groups []detect.Gr
 	}
 
 	var ctxErr error
+	a := newAuditor(o)
 	csp := sp.Start("behavior_checks")
 	var allUsers, allItems []bipartite.NodeID
 	if p.sharded() && p.workers() > 1 && len(groups) > 1 {
-		allUsers, allItems, ctxErr = screenParallel(ctx, g, groups, hot, p)
+		allUsers, allItems, ctxErr = screenParallel(ctx, g, groups, hot, p, a)
 	} else {
-		for _, grp := range groups {
+		for i, grp := range groups {
 			faultinject.Hit("core.screen.group")
 			if ctxErr = ctx.Err(); ctxErr != nil {
 				break
 			}
-			users, items := screenOne(g, grp, hot, p)
+			users, items := screenOne(g, grp, hot, p, a, i+1)
 			allUsers = append(allUsers, users...)
 			allItems = append(allItems, items...)
 		}
@@ -223,14 +253,26 @@ func ScreenGroupsCtx(ctx context.Context, g *bipartite.Graph, groups []detect.Gr
 
 // screenOne applies the user behavior check and item behavior verification
 // to one candidate group. It returns the supported users and verified items,
-// both possibly empty: a dissolved group contributes nothing.
-func screenOne(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params) (users, items []bipartite.NodeID) {
-	checked := UserBehaviorCheck(g, grp, hot, p)
+// both possibly empty: a dissolved group contributes nothing. group is the
+// 1-based candidate index stamped on audit events.
+func screenOne(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params,
+	a *auditor, group int) (users, items []bipartite.NodeID) {
+
+	checked := userBehaviorCheck(g, grp, hot, p, a, group)
 	if len(checked) == 0 {
+		// The group dissolved at the user check; its items fall with it.
+		for _, v := range grp.Items {
+			a.dropItemGroupDissolved(group, v)
+		}
 		return nil, nil
 	}
-	items = ItemBehaviorVerification(g, grp.Items, checked, hot, p)
+	items = itemBehaviorVerification(g, grp.Items, checked, hot, p, a, group)
 	if len(items) == 0 {
+		// The group dissolved at item verification: every remaining user
+		// lost their targets, which the per-item events already explain.
+		for _, u := range checked {
+			a.dropUserNoVerifiedTarget(group, u)
+		}
 		return nil, nil
 	}
 	// A user must still support at least one verified target;
@@ -250,6 +292,8 @@ func screenOne(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params) (use
 		})
 		if supports {
 			users = append(users, u)
+		} else {
+			a.dropUserNoVerifiedTarget(group, u)
 		}
 	}
 	return users, items
@@ -264,7 +308,7 @@ func screenOne(g *bipartite.Graph, grp detect.Group, hot *HotSet, p Params) (use
 // A panic inside a worker is rethrown on the caller's goroutine so the
 // DetectContext stage isolation sees it exactly like a serial panic.
 func screenParallel(ctx context.Context, g *bipartite.Graph, groups []detect.Group,
-	hot *HotSet, p Params) (allUsers, allItems []bipartite.NodeID, ctxErr error) {
+	hot *HotSet, p Params, a *auditor) (allUsers, allItems []bipartite.NodeID, ctxErr error) {
 
 	type screenOut struct {
 		users, items []bipartite.NodeID
@@ -297,7 +341,7 @@ func screenParallel(ctx context.Context, g *bipartite.Graph, groups []detect.Gro
 							outs[i].panicked = r
 						}
 					}()
-					outs[i].users, outs[i].items = screenOne(g, groups[i], hot, p)
+					outs[i].users, outs[i].items = screenOne(g, groups[i], hot, p, a, i+1)
 					outs[i].done = true
 				}()
 			}

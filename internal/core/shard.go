@@ -72,13 +72,14 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 	sp *obs.Span, o *obs.Observer, collect bool) (PruneStats, []detect.Group, error) {
 
 	var st PruneStats
+	a := newAuditor(o)
 	faultinject.Hit("core.prune.round")
 	if err := ctx.Err(); err != nil {
 		return st, nil, err
 	}
 	st.Rounds = 1
 	csp := sp.Start("global_core")
-	removed := corePruneFixpoint(g, p)
+	removed := corePruneFixpoint(g, p, a, 1)
 	st.UsersRemoved = removed.UsersRemoved
 	st.ItemsRemoved = removed.ItemsRemoved
 	csp.SetInt("users_removed", int64(removed.UsersRemoved))
@@ -131,7 +132,7 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 				if i < maxShardSpans {
 					ssp = sp.Start("shard")
 				}
-				outs[i] = runShard(ctx, g, comps[i], p, inner[i], ssp, o, collect)
+				outs[i] = runShard(ctx, g, comps[i], p, inner[i], ssp, o, a, i+1, collect)
 			}
 		}()
 	}
@@ -203,8 +204,13 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 // pruneFixpoint), sized to the component rather than the whole graph. A
 // panic is recovered into the result for deterministic rethrow by the
 // merger.
+//
+// Audit events emitted inside the shard carry the 1-based shard index and
+// original-graph IDs (via the auditor's local→original maps); rounds are
+// shard-local. A shard.done boundary event closes each completed shard.
 func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
-	p Params, innerWorkers int, ssp *obs.Span, o *obs.Observer, collect bool) (out shardResult) {
+	p Params, innerWorkers int, ssp *obs.Span, o *obs.Observer, a *auditor,
+	shardIdx int, collect bool) (out shardResult) {
 
 	start := time.Now()
 	defer func() {
@@ -229,7 +235,7 @@ func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
 	cg, userOf, itemOf := bipartite.CompactComponent(g, comp)
 	lp := p
 	lp.Workers = innerWorkers
-	lst, err := pruneFixpoint(ctx, cg, lp, ssp, o)
+	lst, err := pruneFixpoint(ctx, cg, lp, ssp, o, a.forShard(shardIdx, userOf, itemOf))
 	out.rounds = lst.Rounds
 	for lu := 0; lu < cg.NumUsers(); lu++ {
 		if !cg.UserAlive(bipartite.NodeID(lu)) {
@@ -246,6 +252,8 @@ func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
 		out.err = err
 		return
 	}
+	a.shardDone(shardIdx, len(comp.Users), len(comp.Items), out.rounds,
+		len(out.removedU)+len(out.removedI))
 	if collect {
 		for _, c := range bipartite.ConnectedComponents(cg) {
 			if len(c.Users) >= p.K1 && len(c.Items) >= p.K2 {

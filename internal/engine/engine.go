@@ -234,6 +234,23 @@ func (e *Engine) RunContext(ctx context.Context, p Program, maxSupersteps int) (
 	if runErr != nil {
 		e.Obs.Counter("engine.aborted_runs").Inc()
 	}
+	if ledger := e.Obs.RunLedger(); ledger != nil {
+		// Stage timings are omitted: a run's children are its supersteps,
+		// unbounded in number; the counts below carry the same information.
+		sum := obs.RunSummary{
+			Root:       "engine.run",
+			DurationNS: rsp.Duration().Nanoseconds(),
+			Partial:    runErr != nil,
+			Stats: map[string]int64{
+				"supersteps": int64(step),
+				"messages":   totalMsgs,
+			},
+		}
+		if runErr != nil {
+			sum.Err = runErr.Error()
+		}
+		ledger.Record(sum)
+	}
 	return step, runErr
 }
 

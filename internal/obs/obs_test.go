@@ -40,11 +40,11 @@ func TestCounterGaugeConcurrent(t *testing.T) {
 func TestHistogramConcurrent(t *testing.T) {
 	r := NewRegistry()
 	durations := []time.Duration{
-		time.Microsecond,       // le.10µs
-		50 * time.Microsecond,  // le.100µs
-		500 * time.Microsecond, // le.1ms
-		5 * time.Millisecond,   // le.10ms
-		2 * time.Second,        // le.10s
+		time.Microsecond,       // le.1e-05 (10µs bound)
+		50 * time.Microsecond,  // le.0.0001
+		500 * time.Microsecond, // le.0.001
+		5 * time.Millisecond,   // le.0.01
+		2 * time.Second,        // le.10
 		time.Minute,            // le.inf (overflow)
 	}
 	const workers = 8
@@ -65,13 +65,15 @@ func TestHistogramConcurrent(t *testing.T) {
 	if got, want := h.Count(), int64(workers*len(durations)); got != want {
 		t.Errorf("count = %d, want %d", got, want)
 	}
+	// Bucket labels are seconds-valued numbers (ASCII, Prometheus-parseable),
+	// not Duration strings like "10µs".
 	m := r.Map()
-	for _, bucket := range []string{"lat.le.10µs", "lat.le.100µs", "lat.le.1ms", "lat.le.10ms", "lat.le.10s", "lat.le.inf"} {
+	for _, bucket := range []string{"lat.le.1e-05", "lat.le.0.0001", "lat.le.0.001", "lat.le.0.01", "lat.le.10", "lat.le.inf"} {
 		if m[bucket] != workers {
 			t.Errorf("%s = %d, want %d", bucket, m[bucket], workers)
 		}
 	}
-	if m["lat.le.100ms"] != 0 || m["lat.le.1s"] != 0 {
+	if m["lat.le.0.1"] != 0 || m["lat.le.1"] != 0 {
 		t.Errorf("empty buckets populated: %v", m)
 	}
 }
@@ -205,6 +207,11 @@ func TestNoopZeroAlloc(t *testing.T) {
 		var tr *Trace
 		tr.Root().Start("y").End()
 		tr.Finish()
+		o.Sink().Emit(Event{Type: EventPruneRemove, Side: "user", ID: 3})
+		var s *EventSink
+		s.Emit(Event{Type: EventScreenDrop})
+		var l *Ledger
+		l.Record(RunSummary{Root: "ricd.detect"})
 	})
 	if allocs != 0 {
 		t.Errorf("nil observer path allocates %.1f per run, want 0", allocs)
@@ -225,8 +232,21 @@ func TestNilSafety(t *testing.T) {
 	if o.Root() != nil || o.Counter("x") != nil || o.Gauge("x") != nil || o.Histogram("x") != nil {
 		t.Error("nil observer must hand out nil instruments")
 	}
-	if r.Counter("x") != nil || r.Map() != nil {
+	if r.Counter("x") != nil || r.Map() != nil || r.Counters() != nil {
 		t.Error("nil registry must hand out nil instruments")
+	}
+	if o.Sink() != nil || o.RunLedger() != nil {
+		t.Error("nil observer must hand out nil sink/ledger")
+	}
+	var es *EventSink
+	es.Emit(Event{Type: EventRunStart})
+	if es.Seq() != 0 || es.Events() != nil || es.Err() != nil {
+		t.Error("nil event sink must be inert")
+	}
+	var lg *Ledger
+	lg.Record(RunSummary{})
+	if lg.Len() != 0 || lg.Runs() != nil {
+		t.Error("nil ledger must be inert")
 	}
 	if tr.Root() != nil || tr.Export() != nil || tr.Tree() != "" {
 		t.Error("nil trace must export nothing")

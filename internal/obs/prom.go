@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// This file hand-rolls the Prometheus text exposition format 0.0.4 from
+// the registry — no client_golang dependency, per the repo's
+// stdlib-only rule. Counters and gauges map directly; histograms are
+// rendered with CUMULATIVE `le` buckets (each bucket counts observations
+// ≤ its bound, ending in le="+Inf"), seconds-valued bucket bounds, and a
+// seconds-valued _sum, which is what Prometheus' histogram_quantile
+// expects. Note the registry's own Snapshot/Map view keeps per-bucket
+// (non-cumulative) counts; only the exposition is cumulative.
+
+// secondsLabel renders a histogram bucket bound as a seconds-valued
+// number ("1e-05", "0.001", "10") — ASCII and float-parseable, unlike
+// time.Duration.String()'s "10µs". Shared by the Prometheus exposition
+// and the Snapshot/Map/expvar views so the two stay consistent.
+func secondsLabel(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// promName sanitizes a registry metric name into a valid Prometheus
+// metric name under a namespace prefix: dots and any other invalid byte
+// become underscores ("core.prune.rounds" → "ricd_core_prune_rounds").
+func promName(namespace, name string) string {
+	b := make([]byte, 0, len(namespace)+1+len(name))
+	appendSan := func(s string) {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			valid := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(c >= '0' && c <= '9' && len(b) > 0)
+			if valid {
+				b = append(b, c)
+			} else {
+				b = append(b, '_')
+			}
+		}
+	}
+	if namespace != "" {
+		appendSan(namespace)
+		b = append(b, '_')
+	}
+	appendSan(name)
+	return string(b)
+}
+
+// WritePrometheus renders every metric of r in Prometheus text format
+// under the namespace prefix. Metrics are emitted in sorted name order
+// per kind (counters, gauges, histograms) so scrapes are diffable. A nil
+// registry writes nothing.
+func WritePrometheus(w io.Writer, namespace string, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	histograms := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		histograms = append(histograms, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+
+	for _, name := range counters {
+		pn := promName(namespace, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			pn, pn, r.Counter(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		pn := promName(namespace, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n",
+			pn, pn, r.Gauge(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range histograms {
+		h := r.Histogram(name)
+		pn := promName(namespace, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			label := "+Inf"
+			if i < len(h.bounds) {
+				label = secondsLabel(h.bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, label, cum); err != nil {
+				return err
+			}
+		}
+		sum := time.Duration(h.sum.Load()).Seconds()
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			pn, strconv.FormatFloat(sum, 'g', -1, 64), pn, h.count.Load()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsHandler serves the registry as a Prometheus text-format scrape
+// endpoint (mount at /metrics on the debug server).
+func MetricsHandler(namespace string, r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, namespace, r); err != nil {
+			// The response is already streaming; nothing to do but stop.
+			return
+		}
+	})
+}
+
+// RunsHandler serves the run ledger as JSON (mount at /debug/runs).
+func RunsHandler(l *Ledger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		data, err := l.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+}

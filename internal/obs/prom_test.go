@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheus renders a small registry and checks the exposition
+// line by line: TYPE comments, sanitized names, cumulative seconds-labeled
+// buckets ending at +Inf, and a seconds-valued sum.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ricd.detections").Add(3)
+	r.Gauge("stream.dirty_users").Set(17)
+	h := r.Histogram("core.prune")
+	h.Observe(5 * time.Microsecond)   // bucket 10µs
+	h.Observe(500 * time.Microsecond) // bucket 1ms
+	h.Observe(2 * time.Second)        // bucket 10s
+	h.Observe(time.Minute)            // overflow
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, "ricd", r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE ricd_ricd_detections counter\nricd_ricd_detections 3\n",
+		"# TYPE ricd_stream_dirty_users gauge\nricd_stream_dirty_users 17\n",
+		"# TYPE ricd_core_prune histogram\n",
+		`ricd_core_prune_bucket{le="1e-05"} 1` + "\n",
+		`ricd_core_prune_bucket{le="0.001"} 2` + "\n",
+		`ricd_core_prune_bucket{le="10"} 3` + "\n",
+		`ricd_core_prune_bucket{le="+Inf"} 4` + "\n",
+		"ricd_core_prune_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative (monotonically nondecreasing) and the sum
+	// seconds-valued: 5µs+500µs+2s+60s ≈ 62.0005s.
+	var prevCum int64 = -1
+	var sum float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "ricd_core_prune_bucket{") {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if v < prevCum {
+				t.Errorf("buckets not cumulative at %q", line)
+			}
+			prevCum = v
+		}
+		if strings.HasPrefix(line, "ricd_core_prune_sum ") {
+			var err error
+			sum, err = strconv.ParseFloat(strings.TrimPrefix(line, "ricd_core_prune_sum "), 64)
+			if err != nil {
+				t.Fatalf("sum line %q: %v", line, err)
+			}
+		}
+	}
+	if sum < 62.0 || sum > 62.001 {
+		t.Errorf("histogram sum = %v, want ≈62.0005 seconds", sum)
+	}
+
+	// Every sample line must be well-formed: name{labels} value.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for j := 0; j < len(name); j++ {
+			c := name[j]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') ||
+				(c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9' && j > 0)
+			if !ok {
+				t.Errorf("invalid metric name %q", name)
+				break
+			}
+		}
+	}
+}
+
+// TestSecondsLabels pins every default bucket's label: ASCII, float
+// parseable, strictly increasing.
+func TestSecondsLabels(t *testing.T) {
+	want := []string{"1e-05", "0.0001", "0.001", "0.01", "0.1", "1", "10"}
+	prev := 0.0
+	for i, d := range DefaultBuckets {
+		got := secondsLabel(d)
+		if got != want[i] {
+			t.Errorf("bucket %v label = %q, want %q", d, got, want[i])
+		}
+		v, err := strconv.ParseFloat(got, 64)
+		if err != nil {
+			t.Errorf("label %q not a float: %v", got, err)
+		}
+		if v <= prev {
+			t.Errorf("labels not increasing at %q", got)
+		}
+		prev = v
+		for j := 0; j < len(got); j++ {
+			if got[j] >= 0x80 {
+				t.Errorf("label %q is not ASCII", got)
+			}
+		}
+	}
+}
+
+// TestPromName covers sanitization corner cases.
+func TestPromName(t *testing.T) {
+	cases := map[[2]string]string{
+		{"ricd", "core.prune.rounds"}: "ricd_core_prune_rounds",
+		{"", "a-b c"}:                 "a_b_c",
+		{"", "9lives"}:                "_lives",
+		{"ns", "0k"}:                  "ns_0k", // digit is valid after the prefix
+	}
+	for in, want := range cases {
+		if got := promName(in[0], in[1]); got != want {
+			t.Errorf("promName(%q, %q) = %q, want %q", in[0], in[1], got, want)
+		}
+	}
+}
+
+// TestMetricsAndRunsHandlers smoke-tests the two debug endpoints.
+func TestMetricsAndRunsHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ricd.detections").Inc()
+	rec := httptest.NewRecorder()
+	MetricsHandler("ricd", r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ricd_ricd_detections 1") {
+		t.Errorf("metrics body missing counter:\n%s", rec.Body.String())
+	}
+
+	l := NewLedger(4)
+	l.Record(RunSummary{Root: "ricd.detect", Groups: 2})
+	rec = httptest.NewRecorder()
+	RunsHandler(l).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/runs", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `"root": "ricd.detect"`) || !strings.Contains(body, `"groups": 2`) {
+		t.Errorf("runs body missing summary:\n%s", body)
+	}
+
+	// An empty ledger serves [] (valid JSON), not null.
+	rec = httptest.NewRecorder()
+	RunsHandler(NewLedger(1)).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/runs", nil))
+	if got := strings.TrimSpace(rec.Body.String()); got != "[]" {
+		t.Errorf("empty ledger served %q, want []", got)
+	}
+}

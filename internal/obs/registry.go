@@ -190,9 +190,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Snapshot returns every metric as a flat list of samples sorted by name.
-// Histograms expand into one sample per bucket (`name.le.<bound>`, with
+// Histograms expand into one sample per bucket (`name.le.<bound>` with the
+// bound rendered as a seconds-valued number, e.g. `name.le.0.001`, and
 // `name.le.inf` for the overflow bucket) plus `name.count` and
-// `name.sum_ns`.
+// `name.sum_ns`. Bucket samples are per-bucket counts; the Prometheus
+// exposition (prom.go) is where they become cumulative.
 func (r *Registry) Snapshot() []Sample {
 	m := r.Map()
 	out := make([]Sample, 0, len(m))
@@ -222,12 +224,28 @@ func (r *Registry) Map() map[string]int64 {
 		for i := range h.buckets {
 			label := "inf"
 			if i < len(h.bounds) {
-				label = h.bounds[i].String()
+				label = secondsLabel(h.bounds[i])
 			}
 			out[name+".le."+label] = h.buckets[i].Load()
 		}
 		out[name+".count"] = h.count.Load()
 		out[name+".sum_ns"] = h.sum.Load()
+	}
+	return out
+}
+
+// Counters returns a name→value map of the counters alone — the
+// monotonic subset whose before/after difference is meaningful, used by
+// the run ledger to attribute counts to individual runs (CounterDelta).
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
 	}
 	return out
 }

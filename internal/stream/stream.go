@@ -67,6 +67,12 @@ type Detector struct {
 	events     int
 	detections int
 	lastFull   bool
+
+	// lastSweepEnd is when the previous sweep (committed or aborted)
+	// finished; the stream.sweep.lag_ms gauge reports the age of that
+	// moment at the start of each sweep, the operational "how stale is
+	// detection" signal.
+	lastSweepEnd time.Time
 }
 
 // DefaultExpandCap is the default item-degree traversal bound for
@@ -111,6 +117,7 @@ func (d *Detector) AddClick(user, item uint32, clicks uint32) {
 	n := len(d.dirty)
 	d.mu.Unlock()
 	d.Obs.Counter("stream.events").Inc()
+	d.Obs.Counter("stream.clicks").Add(int64(clicks))
 	d.Obs.Gauge("stream.dirty_users").Set(int64(n))
 }
 
@@ -124,6 +131,7 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 	}
 	d.mu.Lock()
 	n := 0
+	var clicks int64
 	for _, r := range records {
 		if r.Clicks == 0 {
 			continue
@@ -132,6 +140,7 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 		d.dirty[r.UserID] = struct{}{}
 		d.events++
 		n++
+		clicks += int64(r.Clicks)
 	}
 	if n > 0 {
 		d.graph = nil
@@ -139,6 +148,7 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 	dirty := len(d.dirty)
 	d.mu.Unlock()
 	d.Obs.Counter("stream.events").Add(int64(n))
+	d.Obs.Counter("stream.clicks").Add(clicks)
 	d.Obs.Gauge("stream.dirty_users").Set(int64(dirty))
 }
 
@@ -233,7 +243,11 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 		dirty = append(dirty, u)
 	}
 	cached := append([]detect.Group(nil), d.cached...)
+	lastEnd := d.lastSweepEnd
 	d.mu.Unlock()
+	if !lastEnd.IsZero() {
+		d.Obs.Gauge("stream.sweep.lag_ms").Set(time.Since(lastEnd).Milliseconds())
+	}
 
 	sp := d.Obs.Root().Start("stream.sweep")
 	sweepType := "incremental"
@@ -247,6 +261,39 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	}
 	sp.Set("prune_mode", pruneMode)
 	sp.SetInt("dirty_users", int64(len(dirty)))
+
+	sink := d.Obs.Sink()
+	if sink != nil {
+		sink.Emit(obs.Event{Type: obs.EventSweepStart, Reason: sweepType, Users: len(dirty)})
+	}
+	ledger := d.Obs.RunLedger()
+	var countersBefore map[string]int64
+	if ledger != nil {
+		countersBefore = d.Obs.Metrics.Counters()
+	}
+	// record files one RunSummary per sweep (committed or aborted): stage
+	// durations from the sweep span, outcome counts, per-sweep counter
+	// deltas.
+	record := func(res *detect.Result, err error) {
+		if ledger == nil {
+			return
+		}
+		sum := obs.RunSummary{
+			Root:       "stream.sweep",
+			DurationNS: res.Elapsed.Nanoseconds(),
+			Groups:     len(res.Groups),
+			Users:      len(res.Users()),
+			Items:      len(res.Items()),
+			Partial:    res.Partial,
+			Stage:      res.StageReached,
+			Stages:     obs.StagesOf(sp.Export()),
+			Stats:      obs.CounterDelta(countersBefore, d.Obs.Metrics.Counters()),
+		}
+		if err != nil {
+			sum.Err = err.Error()
+		}
+		ledger.Record(sum)
+	}
 
 	var (
 		groups  []detect.Group
@@ -337,18 +384,29 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 			d.dirty[u] = struct{}{}
 		}
 		remaining := len(d.dirty)
+		d.lastSweepEnd = time.Now()
 		d.mu.Unlock()
 		res.Partial = true
 		res.StageReached = reached
 		sp.Set("partial", reached)
 		sp.End()
 		d.Obs.Counter("stream.sweeps.aborted").Inc()
+		d.Obs.Counter("detect.partial").Inc()
+		if reached != "" {
+			d.Obs.Counter("detect.stage_reached." + reached).Inc()
+		}
+		d.Obs.Histogram("stream.sweep.latency").Observe(res.Elapsed)
 		d.Obs.Gauge("stream.dirty_users").Set(int64(remaining))
+		if sink != nil {
+			sink.Emit(obs.Event{Type: obs.EventSweepAbort, Reason: reached, Groups: len(groups)})
+		}
+		record(res, err)
 		return res, err
 	}
 	sp.End()
 	d.Obs.Counter("stream.sweeps." + sweepType).Inc()
 	d.Obs.Histogram("stream.sweep." + sweepType).Observe(res.Elapsed)
+	d.Obs.Histogram("stream.sweep.latency").Observe(res.Elapsed)
 
 	// Commit: the sweep owned its dirty snapshot, so only the users whose
 	// clicks this sweep actually examined are retired; clicks streamed
@@ -359,8 +417,28 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	remaining := len(d.dirty)
 	d.lastFull = true
 	d.detections++
+	d.lastSweepEnd = time.Now()
 	d.mu.Unlock()
 	d.Obs.Gauge("stream.dirty_users").Set(int64(remaining))
+	if sink != nil {
+		// One verdict per committed group with its forensic evidence. Sweeps
+		// skip Module 3's risk ranking (the facade ranks on demand), so the
+		// score mirrors whatever the group carries — 0 for sweep-built groups.
+		for i, grp := range groups {
+			st := core.ComputeGroupStats(g, grp)
+			sink.Emit(obs.Event{
+				Type:  obs.EventGroupVerdict,
+				Group: i + 1,
+				Users: len(grp.Users),
+				Items: len(grp.Items),
+				Score: grp.Score,
+				Stat: fmt.Sprintf("density=%.3f mean_edge_clicks=%.1f outside_share=%.3f",
+					st.Density, st.MeanEdgeClicks, st.OutsideShare),
+			})
+		}
+		sink.Emit(obs.Event{Type: obs.EventSweepCommit, Reason: sweepType, Groups: len(groups)})
+	}
+	record(res, nil)
 	return res, nil
 }
 

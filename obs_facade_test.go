@@ -1,6 +1,8 @@
 package fakeclick
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -124,5 +126,62 @@ func TestStreamObserver(t *testing.T) {
 	}
 	if sweeps != 2 {
 		t.Errorf("trace has %d stream.sweep spans, want 2", sweeps)
+	}
+}
+
+// TestDetectWithAuditSink verifies the facade's audit wiring: Config.Audit
+// alone (no Observer) produces a JSONL trail bracketed by run.start /
+// run.end with one verdict per reported group, while Report.Trace stays
+// nil — the audit sink must not imply tracing.
+func TestDetectWithAuditSink(t *testing.T) {
+	g, _ := syntheticGraph(t)
+	cfg := smallConfig()
+	var buf bytes.Buffer
+	cfg.Audit = NewAuditSink(&buf, 16)
+
+	rep, err := Detect(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace != nil {
+		t.Error("Report.Trace is non-nil without a configured Observer")
+	}
+	if len(rep.Groups) == 0 {
+		t.Fatal("no groups; verdict assertions would be vacuous")
+	}
+
+	var first, last AuditEvent
+	verdicts := 0
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	for i, line := range lines {
+		var e AuditEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("audit line %d: %v", i+1, err)
+		}
+		if i == 0 {
+			first = e
+		}
+		last = e
+		if e.Type == obs.EventGroupVerdict {
+			verdicts++
+			if e.Score != rep.Groups[e.Group-1].Score {
+				t.Errorf("verdict for group %d has score %v, report says %v",
+					e.Group, e.Score, rep.Groups[e.Group-1].Score)
+			}
+		}
+	}
+	if first.Type != obs.EventRunStart || last.Type != obs.EventRunEnd {
+		t.Errorf("trail bracketed by %q..%q, want run.start..run.end", first.Type, last.Type)
+	}
+	if verdicts != len(rep.Groups) {
+		t.Errorf("%d verdicts for %d groups", verdicts, len(rep.Groups))
+	}
+	// The ring keeps the most recent events for in-process inspection.
+	ring := cfg.Audit.Events()
+	if len(ring) != 16 {
+		t.Fatalf("ring holds %d events, want 16", len(ring))
+	}
+	if ring[len(ring)-1].Type != obs.EventRunEnd {
+		t.Errorf("ring tail is %q, want run.end", ring[len(ring)-1].Type)
 	}
 }

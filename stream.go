@@ -49,7 +49,7 @@ func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
-	inner.Obs = cfg.Observer
+	inner.Obs = auditObserver(cfg)
 	return &StreamDetector{inner: inner, obs: cfg.Observer}, nil
 }
 
