@@ -1,0 +1,182 @@
+// Durability cost panel: running
+//
+//	go test -run TestWriteBenchDurableJSON -benchjsondurable BENCH_durable.json
+//
+// measures what the WAL costs the ingest hot path (off / flushed / fsynced
+// per batch) and what each full-buffer shed policy costs an Offer under
+// burst, and writes the results as JSON so CI can track the durability
+// tax the same way it tracks observability overhead (BENCH_obs.json).
+package fakeclick_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/clicktable"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/stream"
+)
+
+var benchDurableJSONPath = flag.String("benchjsondurable", "", "write the durability benchmark panel to this JSON file")
+
+// ingestBatch is the unit of streaming ingestion in these benchmarks: 512
+// clicks per AddBatch, which is one WAL AppendAll (and so one fsync when
+// the policy demands it) — the realistic amortization, not a per-click
+// fsync strawman.
+const ingestBatch = 512
+
+func durableBenchParams() core.Params {
+	p := core.DefaultParams()
+	p.THot = 400
+	return p
+}
+
+func durableBenchBatch() []clicktable.Record {
+	batch := make([]clicktable.Record, ingestBatch)
+	for i := range batch {
+		batch[i] = clicktable.Record{
+			UserID: uint32(i * 37 % 4096),
+			ItemID: uint32(i * 13 % 512),
+			Clicks: uint32(1 + i%3),
+		}
+	}
+	return batch
+}
+
+// benchIngest streams b.N clicks through AddBatch; dur == nil is the
+// memory-only baseline, otherwise the detector writes ahead to a WAL in a
+// fresh temp directory. ns/op is therefore cost *per click*.
+func benchIngest(b *testing.B, dur *stream.Durability) {
+	var d *stream.Detector
+	var err error
+	if dur == nil {
+		d, err = stream.New(nil, durableBenchParams())
+	} else {
+		cfg := *dur
+		cfg.Dir = b.TempDir()
+		d, _, err = stream.Open(cfg, durableBenchParams(), nil)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	batch := durableBenchBatch()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += ingestBatch {
+		end := ingestBatch
+		if rest := b.N - n; rest < end {
+			end = rest
+		}
+		d.AddBatch(batch[:end])
+	}
+	b.StopTimer()
+	if derr := d.DurabilityErr(); derr != nil {
+		b.Fatal(derr)
+	}
+}
+
+// BenchmarkStreamIngestNoWAL is the memory-only ingest baseline.
+func BenchmarkStreamIngestNoWAL(b *testing.B) { benchIngest(b, nil) }
+
+// BenchmarkStreamIngestWALNoFsync writes every click ahead to the WAL but
+// lets the OS page cache absorb it (survives process death, not power
+// loss). The spread over NoWAL is the encode+write tax.
+func BenchmarkStreamIngestWALNoFsync(b *testing.B) {
+	benchIngest(b, &stream.Durability{Sync: durable.SyncNever})
+}
+
+// BenchmarkStreamIngestWALFsync additionally fsyncs once per batch — the
+// full durability guarantee. The spread over WALNoFsync is the price of
+// surviving power loss.
+func BenchmarkStreamIngestWALFsync(b *testing.B) {
+	benchIngest(b, &stream.Durability{Sync: durable.SyncAlways})
+}
+
+// benchOffer hammers a live buffer (drainer running) with b.N clicks and
+// measures Offer latency under burst for one shed policy. BlockWait is
+// kept tiny so a full buffer under the block policy costs a bounded stall,
+// not a benchmark hang.
+func benchOffer(b *testing.B, policy stream.ShedPolicy) {
+	d, err := stream.New(nil, durableBenchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := stream.NewBuffer(d, stream.BufferConfig{
+		Capacity:  1024,
+		Policy:    policy,
+		BlockWait: time.Millisecond,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Offer(clicktable.Record{
+			UserID: uint32(i % 4096),
+			ItemID: uint32(i % 512),
+			Clicks: 1,
+		})
+	}
+	b.StopTimer()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := buf.Close(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBufferOfferBlock measures burst Offers under backpressure.
+func BenchmarkBufferOfferBlock(b *testing.B) { benchOffer(b, stream.ShedBlock) }
+
+// BenchmarkBufferOfferShedOldest measures burst Offers when a full buffer
+// sacrifices its oldest pending click.
+func BenchmarkBufferOfferShedOldest(b *testing.B) { benchOffer(b, stream.ShedOldest) }
+
+// BenchmarkBufferOfferShedNewest measures burst Offers when a full buffer
+// rejects the incoming click.
+func BenchmarkBufferOfferShedNewest(b *testing.B) { benchOffer(b, stream.ShedNewest) }
+
+// TestWriteBenchDurableJSON runs the durability panel and writes
+// -benchjsondurable. Skipped unless the flag is set, so ordinary test runs
+// stay fast.
+func TestWriteBenchDurableJSON(t *testing.T) {
+	if *benchDurableJSONPath == "" {
+		t.Skip("set -benchjsondurable <path> to emit the durability benchmark panel")
+	}
+	panel := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"StreamIngestNoWAL", BenchmarkStreamIngestNoWAL},
+		{"StreamIngestWALNoFsync", BenchmarkStreamIngestWALNoFsync},
+		{"StreamIngestWALFsync", BenchmarkStreamIngestWALFsync},
+		{"BufferOfferBlock", BenchmarkBufferOfferBlock},
+		{"BufferOfferShedOldest", BenchmarkBufferOfferShedOldest},
+		{"BufferOfferShedNewest", BenchmarkBufferOfferShedNewest},
+	}
+	var out struct {
+		Note    string        `json:"note"`
+		Results []benchResult `json:"results"`
+	}
+	out.Note = "generated by `go test -run TestWriteBenchDurableJSON -benchjsondurable`; ns_per_op is per click — compare StreamIngestNoWAL vs WALNoFsync for the write-ahead tax and vs WALFsync for the power-loss guarantee; BufferOffer* rows are shed-policy latency under burst"
+	for _, p := range panel {
+		r := testing.Benchmark(p.fn)
+		out.Results = append(out.Results, benchResult{
+			Name:        p.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		t.Logf("%-24s %d iters, %.0f ns/op", p.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.WriteFileAtomic(*benchDurableJSONPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *benchDurableJSONPath)
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/durable"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/synth"
@@ -314,12 +315,19 @@ func closeAudit(f *os.File, o *obs.Observer) {
 			log.Printf("-audit: %v", err)
 		}
 	}
+	// fsync before close: an audit trail that claims to exist should
+	// survive the machine failing right after exit, same as the WAL.
+	if err := f.Sync(); err != nil {
+		log.Printf("-audit: %v", err)
+	}
 	if err := f.Close(); err != nil {
 		log.Printf("-audit: %v", err)
 	}
 }
 
 // finishObservability ends the trace and emits the requested artifacts.
+// The trace file is written atomically (temp + fsync + rename) so a crash
+// mid-write can never leave a torn half-JSON artifact.
 func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool) {
 	if o == nil {
 		return
@@ -329,7 +337,7 @@ func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool
 		data, err := o.Trace.JSON()
 		if err != nil {
 			log.Printf("-trace: %v", err)
-		} else if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+		} else if err := durable.WriteFileAtomic(tracePath, data, 0o644); err != nil {
 			log.Printf("-trace: %v", err)
 		} else {
 			fmt.Printf("stage trace written to %s\n", tracePath)

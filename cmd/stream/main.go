@@ -7,21 +7,41 @@
 //
 //	synthgen -out clicks.csv -labels labels.csv -events events.csv
 //	stream -events events.csv [-thot 1000] [-tclick 12] [-labels labels.csv]
+//	       [-wal-dir state/] [-snapshot-every 5000] [-fsync]
+//	       [-buffer 4096] [-shed-policy block|oldest|newest]
 //	       [-timeout 1m] [-trace out.json] [-trace-tree] [-audit out.jsonl]
 //	       [-runs] [-debug-addr :6060] [-hold 30s]
 //
+// -wal-dir enables durable state: every click and sweep commit is written
+// ahead to a checksummed WAL under the directory, with periodic atomic
+// snapshots (-snapshot-every records; 0 disables). Restarting with the
+// same -wal-dir recovers exactly where the previous run stopped — even
+// after kill -9 — replaying the WAL tail behind the newest valid snapshot
+// and truncating any torn trailing record. With -wal-dir, -events is
+// optional: omitting it recovers the persisted state and runs one sweep
+// over it. -fsync makes appends survive power loss, not just process
+// death.
+//
+// -buffer inserts a bounded pending-click queue between the reader and
+// the detector; when it fills, -shed-policy decides between backpressure
+// (block) and load shedding (oldest/newest). Sheds are counted and
+// audited, never silent.
+//
 // -audit streams one JSONL audit event per pipeline decision (prune
 // removals, screening drops, feedback widenings, sweep boundaries,
-// verdicts) to the given file. -runs prints the bounded per-sweep run
-// ledger after the replay. With -debug-addr the debug server also exposes
-// Prometheus text-format metrics at /metrics and the run ledger at
-// /debug/runs; -hold keeps it scrapeable after the replay finishes.
+// verdicts, recovery and shed decisions) to the given file. -runs prints
+// the bounded per-sweep run ledger after the replay. With -debug-addr the
+// debug server also exposes Prometheus text-format metrics at /metrics
+// and the run ledger at /debug/runs; -hold keeps it scrapeable after the
+// replay finishes.
 //
 // SIGINT/SIGTERM (and -timeout expiry) cancel the in-flight sweep
-// cooperatively: the interrupted sweep's partial findings are reported,
-// the replay stops, and the process exits with status 2 so scripts can
-// tell a cut-short replay from a complete one (status 0) or a hard
-// failure (status 1).
+// cooperatively and run the ordered shutdown: pending clicks are flushed,
+// the WAL is snapshotted and closed, THEN the debug server stops, and the
+// audit sink closes last — so durable state is safe before the process
+// stops looking alive, and the shutdown itself stays audited. The process
+// exits with status 2 so scripts can tell a cut-short replay from a
+// complete one (status 0) or a hard failure (status 1).
 package main
 
 import (
@@ -34,11 +54,14 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/durable"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/stream"
@@ -53,13 +76,18 @@ func main() {
 
 func run() int {
 	var (
-		eventsPath = flag.String("events", "", "input event-stream CSV (required)")
+		eventsPath = flag.String("events", "", "input event-stream CSV (required unless -wal-dir has state to recover)")
 		k1         = flag.Int("k1", 10, "minimum users per attack group")
 		k2         = flag.Int("k2", 10, "minimum items per attack group")
 		alpha      = flag.Float64("alpha", 1.0, "extension tolerance α")
 		thot       = flag.Uint64("thot", 1000, "hot-item threshold")
 		tclick     = flag.Uint("tclick", 12, "abnormal-click threshold")
 		labelsPath = flag.String("labels", "", "optional ground-truth label CSV for per-day evaluation")
+		walDir     = flag.String("wal-dir", "", "durable-state directory (WAL + snapshots); enables crash recovery")
+		snapEvery  = flag.Int("snapshot-every", 5000, "with -wal-dir: snapshot after this many WAL records (0 = only at shutdown)")
+		fsyncFlag  = flag.Bool("fsync", false, "with -wal-dir: fsync every WAL append (survive power loss, not just process death)")
+		bufferCap  = flag.Int("buffer", 0, "bounded pending-click buffer between reader and detector (0 = ingest directly)")
+		shedPolStr = flag.String("shed-policy", "block", "full-buffer policy: block (backpressure), oldest or newest (load shedding)")
 		tracePath  = flag.String("trace", "", "write the replay's stage trace to this file as JSON")
 		traceTree  = flag.Bool("trace-tree", false, "print the human-readable stage tree after the replay")
 		auditPath  = flag.String("audit", "", "write the explainable audit trail to this file as JSONL (one event per pipeline decision)")
@@ -71,9 +99,14 @@ func run() int {
 		noFront    = flag.Bool("no-frontier", false, "rescan every live vertex each pruning round instead of the dirty frontier (identical output)")
 	)
 	flag.Parse()
-	if *eventsPath == "" {
+	if *eventsPath == "" && *walDir == "" {
 		flag.Usage()
-		log.Print("missing -events")
+		log.Print("missing -events (or -wal-dir to recover persisted state)")
+		return 2
+	}
+	shedPolicy, err := stream.ParseShedPolicy(*shedPolStr)
+	if err != nil {
+		log.Print(err)
 		return 2
 	}
 
@@ -87,16 +120,21 @@ func run() int {
 		defer cancel()
 	}
 
-	events, err := loadEvents(*eventsPath)
-	if err != nil {
-		log.Print(err)
-		return 1
+	var events []synth.Event
+	if *eventsPath != "" {
+		events, err = loadEvents(*eventsPath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if len(events) == 0 {
+			log.Print("event stream is empty")
+			return 1
+		}
+		fmt.Printf("replaying %d events over %d days\n", len(events), events[len(events)-1].Day)
+	} else {
+		fmt.Printf("no -events: recovering state from %s and sweeping once\n", *walDir)
 	}
-	if len(events) == 0 {
-		log.Print("event stream is empty")
-		return 1
-	}
-	fmt.Printf("replaying %d events over %d days\n", len(events), events[len(events)-1].Day)
 
 	var truth *detect.Labels
 	if *labelsPath != "" {
@@ -115,25 +153,101 @@ func run() int {
 	params.Workers = *workers
 	params.NoFrontier = *noFront
 
-	det, err := stream.New(nil, params)
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
 	observer, debugSrv, auditFile, err := startObservability("stream", *tracePath, *traceTree, *auditPath, *runsFlag, *debugAddr)
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
-	defer stopDebugServer(debugSrv)
-	defer closeAudit(auditFile, observer)
-	det.Obs = observer
 
-	day := events[0].Day
+	var det *stream.Detector
+	if *walDir != "" {
+		sync := durable.SyncNever
+		if *fsyncFlag {
+			sync = durable.SyncAlways
+		}
+		var info *stream.RecoveryInfo
+		det, info, err = stream.Open(stream.Durability{
+			Dir:           *walDir,
+			Sync:          sync,
+			SnapshotEvery: *snapEvery,
+		}, params, observer)
+		if err == nil {
+			fmt.Printf("durable state: cold_start=%v snapshot_clock=%d replayed=%d truncated_bytes=%d seq=%d\n",
+				info.ColdStart, info.SnapshotClock, info.Replayed, info.TruncatedBytes, info.Seq)
+		}
+	} else {
+		det, err = stream.New(nil, params)
+		if det != nil {
+			det.Obs = observer
+		}
+	}
+	if err != nil {
+		log.Print(err)
+		stopDebugServer(debugSrv)
+		closeAudit(auditFile, observer)
+		return 1
+	}
+
+	var buf *stream.Buffer
+	if *bufferCap > 0 {
+		buf = stream.NewBuffer(det, stream.BufferConfig{Capacity: *bufferCap, Policy: shedPolicy})
+	}
+
+	// Ordered teardown; runs exactly once, on every exit path below. A
+	// fresh context bounds it so shutdown completes even when the replay
+	// context is already cancelled (that IS the SIGTERM path).
+	var shutdownOnce sync.Once
+	shutdown := func() {
+		shutdownOnce.Do(func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			for _, step := range shutdownSteps(
+				func() { // 1: stop intake, flush pending clicks into the detector
+					if buf == nil {
+						return
+					}
+					if err := buf.Close(sctx); err != nil {
+						log.Printf("buffer flush: %v", err)
+					}
+					accepted, shed := buf.Stats()
+					if shed > 0 {
+						fmt.Printf("ingest buffer: accepted=%d shed=%d\n", accepted, shed)
+					}
+				},
+				func() { // 2: make accepted state durable, then release the WAL
+					if *walDir == "" {
+						return
+					}
+					if err := det.Snapshot(); err != nil {
+						log.Printf("shutdown snapshot: %v", err)
+					}
+					if err := det.Close(); err != nil {
+						log.Printf("wal close: %v", err)
+					}
+				},
+				func() { stopDebugServer(debugSrv) },       // 3: stop looking alive
+				func() { closeAudit(auditFile, observer) }, // 4: audit captured steps 1–3
+			) {
+				step()
+			}
+		})
+	}
+	defer shutdown()
+
+	day := 0
+	if len(events) > 0 {
+		day = events[0].Day
+	}
 	// flush sweeps the day; it reports whether the replay should continue
 	// (false once the context is cancelled or a sweep fails hard).
 	interrupted := false
 	flush := func(day int) bool {
+		if buf != nil {
+			if err := buf.Flush(ctx); err != nil {
+				interrupted = true
+				return false
+			}
+		}
 		t0 := time.Now()
 		res, err := det.DetectContext(ctx)
 		if err != nil && res == nil {
@@ -164,19 +278,43 @@ func run() int {
 			}
 			day = e.Day
 		}
-		det.AddClick(e.UserID, e.ItemID, e.Clicks)
+		if buf != nil {
+			buf.Offer(clicktable.Record{UserID: e.UserID, ItemID: e.ItemID, Clicks: e.Clicks})
+		} else {
+			det.AddClick(e.UserID, e.ItemID, e.Clicks)
+		}
 	}
 	if !interrupted {
 		flush(day)
 	}
+	if derr := det.DurabilityErr(); derr != nil {
+		log.Printf("durability degraded mid-replay (state is memory-only from the failure point): %v", derr)
+	}
 
 	finishObservability(observer, *tracePath, *traceTree, *runsFlag)
 	holdDebug(ctx, debugSrv, *hold)
+	shutdown()
 	if interrupted {
 		log.Print("replay interrupted — results above are incomplete")
 		return 2
 	}
 	return 0
+}
+
+// shutdownSteps returns the pipeline teardown in its one correct order:
+//
+//  1. stop intake and flush the pending buffer — no state left in queues;
+//  2. snapshot and close the WAL — everything accepted is durable;
+//  3. stop the debug server — the process may now stop looking alive,
+//     and metrics stayed scrapeable while 1–2 ran;
+//  4. close the audit sink — steps 1–3 remain in the audit trail.
+//
+// Closing the WAL after the debug server would open a window where
+// operators see the process as gone while it still owns the log; closing
+// audit any earlier would lose the shutdown's own events.
+// TestShutdownStepOrder pins this order.
+func shutdownSteps(flushBuffer, closeWAL, stopDebug, closeAudit func()) []func() {
+	return []func(){flushBuffer, closeWAL, stopDebug, closeAudit}
 }
 
 // ledgerSize bounds the run ledger: one summary per daily sweep, so 64
@@ -254,8 +392,10 @@ func holdDebug(ctx context.Context, srv *http.Server, d time.Duration) {
 	}
 }
 
-// closeAudit flushes and closes the -audit file, surfacing any write error
-// the sink latched mid-replay.
+// closeAudit flushes and closes the -audit file, fsyncing first so an
+// audit trail that claims to exist survives the machine failing right
+// after exit — the same durability discipline as the WAL. Surfaces any
+// write error the sink latched mid-replay.
 func closeAudit(f *os.File, o *obs.Observer) {
 	if f == nil {
 		return
@@ -265,12 +405,17 @@ func closeAudit(f *os.File, o *obs.Observer) {
 			log.Printf("-audit: %v", err)
 		}
 	}
+	if err := f.Sync(); err != nil {
+		log.Printf("-audit: %v", err)
+	}
 	if err := f.Close(); err != nil {
 		log.Printf("-audit: %v", err)
 	}
 }
 
 // finishObservability ends the trace and emits the requested artifacts.
+// The trace file is written atomically (temp + rename), so a crash mid-
+// write can never leave a torn half-JSON artifact for tooling to choke on.
 func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool) {
 	if o == nil {
 		return
@@ -280,7 +425,7 @@ func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool
 		data, err := o.Trace.JSON()
 		if err != nil {
 			log.Printf("-trace: %v", err)
-		} else if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+		} else if err := durable.WriteFileAtomic(tracePath, data, 0o644); err != nil {
 			log.Printf("-trace: %v", err)
 		} else {
 			fmt.Printf("stage trace written to %s\n", tracePath)

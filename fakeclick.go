@@ -144,6 +144,13 @@ type Config struct {
 	// Construct one with NewAuditSink. Works with or without Observer; a
 	// nil Audit disables the trail at no cost (events are never built).
 	Audit *obs.EventSink
+	// Durability, when non-nil, makes a StreamDetector persist every click
+	// and sweep commit to a write-ahead log with periodic atomic snapshots
+	// under its Dir, so a crashed detector reopens exactly where it
+	// stopped (see StreamDetector.Recovery). Requires explicit THot and
+	// TClick — derived thresholds could silently differ across restarts —
+	// and no warm-start graph. Batch Detect ignores it.
+	Durability *StreamDurability
 }
 
 // AuditEvent is one entry of the detection audit trail; see the obs

@@ -68,6 +68,17 @@ func (t *Table) Each(fn func(Record) bool) {
 	}
 }
 
+// Clone returns a deep copy of the table. The copy shares nothing with the
+// receiver, so it stays stable while the original keeps ingesting — the
+// durability layer snapshots tables this way under the ingest lock.
+func (t *Table) Clone() *Table {
+	c := New(t.Len())
+	c.users = append(c.users, t.users...)
+	c.items = append(c.items, t.items...)
+	c.clicks = append(c.clicks, t.clicks...)
+	return c
+}
+
 // Aggregate merges duplicate (user, item) rows by summing clicks, returning
 // a new table sorted by (user, item). The receiver is unchanged.
 func (t *Table) Aggregate() *Table {

@@ -24,7 +24,8 @@ import (
 )
 
 // Fault is what happens when an armed site is hit. Fields compose; they are
-// applied in order Do → Delay → Panic.
+// applied in order Do → Delay → Panic (Err is returned last, and only by
+// ErrAt — plain Hit sites cannot surface errors).
 type Fault struct {
 	// Do, when non-nil, runs at the site — typically a context.CancelFunc
 	// to force cancellation exactly at that checkpoint.
@@ -33,6 +34,10 @@ type Fault struct {
 	Delay time.Duration
 	// Panic, when non-nil, panics with this value, simulating a stage bug.
 	Panic any
+	// Err, when non-nil, is returned by ErrAt at the site, simulating an
+	// I/O failure (disk write, fsync, rename). Sites probed with plain Hit
+	// ignore it.
+	Err error
 	// Times bounds how often the fault fires; 0 means every hit.
 	Times int
 }
@@ -115,12 +120,27 @@ func Hit(site string) {
 	if active.Load() == 0 {
 		return
 	}
+	hit(site)
+}
+
+// ErrAt marks a fallible I/O checkpoint (disk write, fsync, rename). Like
+// Hit it is a single atomic load when inactive, and it additionally returns
+// the armed fault's Err so the caller's error path runs exactly as it would
+// on a real I/O failure. A nil return means "the I/O may proceed".
+func ErrAt(site string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	return hit(site)
+}
+
+func hit(site string) error {
 	mu.Lock()
 	hits[site]++
 	a := faults[site]
 	if a == nil || (a.fault.Times > 0 && a.fired >= a.fault.Times) {
 		mu.Unlock()
-		return
+		return nil
 	}
 	a.fired++
 	f := a.fault
@@ -135,4 +155,5 @@ func Hit(site string) {
 	if f.Panic != nil {
 		panic(f.Panic)
 	}
+	return f.Err
 }

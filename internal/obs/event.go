@@ -32,6 +32,21 @@ const (
 	EventSweepStart  = "sweep.start"
 	EventSweepCommit = "sweep.commit"
 	EventSweepAbort  = "sweep.abort"
+	// EventSweepRetry is one watchdog-driven sweep retry after a failure;
+	// Round is the attempt number, Stat the backoff applied.
+	EventSweepRetry = "sweep.retry"
+	// EventWALRecover summarizes a crash recovery: Reason is "snapshot" or
+	// "cold", Stat carries the replayed-record and truncated-byte counts.
+	EventWALRecover = "wal.recover"
+	// EventWALDegraded marks the detector falling back to memory-only
+	// operation after a WAL write failure; Reason carries the error.
+	EventWALDegraded = "wal.degraded"
+	// EventSnapshotWrite is one durable state snapshot; Stat carries the
+	// clock and payload size, Reason is "error: ..." when the write failed.
+	EventSnapshotWrite = "snapshot.write"
+	// EventIngestShed is one pending-click drop by the overload buffer;
+	// Reason names the shed policy that fired.
+	EventIngestShed = "ingest.shed"
 )
 
 // Event is one structured audit-trail record: a single pipeline decision

@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/clicktable"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+func rec(u uint32) clicktable.Record { return clicktable.Record{UserID: u, ItemID: 1, Clicks: 2} }
+
+func TestBufferDeliversEverythingUnderCapacity(t *testing.T) {
+	d, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(d, BufferConfig{Capacity: 64})
+	for u := uint32(0); u < 50; u++ {
+		if !b.Offer(rec(u)) {
+			t.Fatalf("offer %d rejected", u)
+		}
+	}
+	if err := b.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PendingEvents(); got != 50 {
+		t.Fatalf("detector saw %d events, want 50", got)
+	}
+	accepted, shed := b.Stats()
+	if accepted != 50 || shed != 0 {
+		t.Fatalf("stats accepted=%d shed=%d", accepted, shed)
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Offer(rec(99)) {
+		t.Fatal("offer after close accepted")
+	}
+}
+
+// TestBufferShedOldest fills a drainer-less buffer past capacity and
+// checks that the oldest clicks are the ones sacrificed.
+func TestBufferShedOldest(t *testing.T) {
+	d, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBuffer(d, BufferConfig{Capacity: 4, Policy: ShedOldest})
+	for u := uint32(1); u <= 6; u++ {
+		if !b.Offer(rec(u)) {
+			t.Fatalf("shed-oldest rejected incoming click %d", u)
+		}
+	}
+	if depth := b.Depth(); depth != 4 {
+		t.Fatalf("depth = %d, want 4", depth)
+	}
+	if _, shed := b.Stats(); shed != 2 {
+		t.Fatalf("shed = %d, want 2", shed)
+	}
+	b.startDrain()
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Users 1 and 2 were shed; 3–6 survive.
+	g := d.Graph()
+	for u := uint32(1); u <= 6; u++ {
+		want := u >= 3
+		if got := g.UserDegree(u) > 0; got != want {
+			t.Fatalf("user %d present=%v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestBufferShedNewest(t *testing.T) {
+	d, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sinkBuf []obs.Event
+	o := obs.NewObserver("stream")
+	o.Events = obs.NewEventSink(nil, 16)
+	d.Obs = o
+	b := newBuffer(d, BufferConfig{Capacity: 4, Policy: ShedNewest})
+	for u := uint32(1); u <= 4; u++ {
+		if !b.Offer(rec(u)) {
+			t.Fatalf("offer %d rejected below capacity", u)
+		}
+	}
+	if b.Offer(rec(5)) {
+		t.Fatal("offer into a full shed-newest buffer accepted")
+	}
+	if _, shed := b.Stats(); shed != 1 {
+		t.Fatalf("shed = %d, want 1", shed)
+	}
+	sinkBuf = o.Events.Events()
+	found := false
+	for _, e := range sinkBuf {
+		if e.Type == obs.EventIngestShed && e.Reason == "newest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ingest.shed audit event: %+v", sinkBuf)
+	}
+}
+
+func TestBufferShedBlockTimesOutThenUnblocks(t *testing.T) {
+	d, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBuffer(d, BufferConfig{Capacity: 2, Policy: ShedBlock, BlockWait: 20 * time.Millisecond})
+	b.Offer(rec(1))
+	b.Offer(rec(2))
+	start := time.Now()
+	if b.Offer(rec(3)) {
+		t.Fatal("offer into a full blocked buffer accepted with no drainer")
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Fatalf("block policy gave up after %v, before the deadline", waited)
+	}
+	if _, shed := b.Stats(); shed != 1 {
+		t.Fatalf("shed = %d, want 1", shed)
+	}
+	// With the drainer running, a blocked Offer gets its slot instead of
+	// timing out.
+	b.startDrain()
+	if !b.Offer(rec(4)) {
+		t.Fatal("offer rejected though the drainer freed space")
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PendingEvents(); got != 3 {
+		t.Fatalf("detector saw %d events, want 3 (click 3 was shed)", got)
+	}
+}
+
+func TestBufferFlushDeadline(t *testing.T) {
+	d, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBuffer(d, BufferConfig{Capacity: 8}) // no drainer: queue never empties
+	b.Offer(rec(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := b.Flush(ctx); err == nil {
+		t.Fatal("flush with a stuck drainer returned nil")
+	}
+}
+
+func TestBackoffExponentialCappedAndReset(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}
+	var got []time.Duration
+	for i := 0; i < 5; i++ {
+		got = append(got, b.Next())
+	}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("delay %d = %v, want %v", i, got[i], want[i]*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("post-reset delay = %v", d)
+	}
+	// Jitter stays within its fraction and uses the injected source.
+	j := Backoff{Base: 100 * time.Millisecond, Jitter: 0.5, Rand: func(n int64) int64 { return n - 1 }}
+	if d := j.Next(); d < 100*time.Millisecond || d > 150*time.Millisecond {
+		t.Fatalf("jittered delay = %v, want within [100ms, 150ms]", d)
+	}
+}
+
+// TestWatchdogRetriesThroughFailures arms a fault that kills the first two
+// sweeps; the watchdog must retry with backoff (auditing each retry),
+// recover, and clear the degraded gauge.
+func TestWatchdogRetriesThroughFailures(t *testing.T) {
+	defer faultinject.Reset()
+	d, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver("stream")
+	o.Events = obs.NewEventSink(nil, 64)
+	d.Obs = o
+	d.AddClick(1, 2, 3)
+
+	faultinject.Arm("stream.sweep", faultinject.Fault{Panic: "injected sweep failure", Times: 2})
+	w := &Watchdog{
+		D:        d,
+		Interval: 5 * time.Millisecond,
+		Backoff:  Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Jitter: -1},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	deadline := time.After(5 * time.Second)
+	for d.Detections() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("watchdog never recovered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("run returned %v", err)
+	}
+	retries := 0
+	for _, e := range o.Events.Events() {
+		if e.Type == obs.EventSweepRetry {
+			retries++
+			if e.Reason == "" || e.Stat == "" {
+				t.Fatalf("retry event missing cause or backoff: %+v", e)
+			}
+		}
+	}
+	if retries != 2 {
+		t.Fatalf("audited %d retries, want 2", retries)
+	}
+	if v := o.Gauge("stream.degraded").Value(); v != 0 {
+		t.Fatalf("degraded gauge = %d after recovery", v)
+	}
+}

@@ -1,0 +1,436 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clicktable"
+	"repro/internal/detect"
+	"repro/internal/durable"
+	"repro/internal/faultinject"
+	"repro/internal/synth"
+)
+
+// This file is the golden-oracle harness for the durability layer: a
+// detector recovered from snapshot + WAL replay must produce BYTE-IDENTICAL
+// sweep results to an uninterrupted in-memory detector fed the same
+// clicks. "Crash" in these tests means abandoning a detector without Close
+// (its WAL is left exactly as a killed process would leave it) and
+// reopening the directory.
+
+// groupBytes canonicalizes sweep output for byte-level comparison.
+func groupBytes(groups []detect.Group) []byte {
+	return appendGroups(nil, groups)
+}
+
+func mustSweep(t *testing.T, d *Detector) *detect.Result {
+	t.Helper()
+	res, err := d.Sweep()
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return res
+}
+
+func sameGroups(t *testing.T, label string, want, got *detect.Result) {
+	t.Helper()
+	if !bytes.Equal(groupBytes(want.Groups), groupBytes(got.Groups)) {
+		t.Fatalf("%s: sweep diverged: want %d groups, got %d (serialized forms differ)",
+			label, len(want.Groups), len(got.Groups))
+	}
+}
+
+func openDurable(t *testing.T, dir string, dur Durability) (*Detector, *RecoveryInfo) {
+	t.Helper()
+	dur.Dir = dir
+	d, info, err := Open(dur, smallParams(), nil)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return d, info
+}
+
+// recoveryWorkloads is the golden corpus: varied marketplace shapes so the
+// equivalence claim covers empty results, single groups and multi-group
+// sweeps.
+func recoveryWorkloads() []synth.Config {
+	var cfgs []synth.Config
+	for seed := int64(1); seed <= 4; seed++ {
+		c := synth.SmallConfig()
+		c.Seed = seed
+		c.Attack.Groups = 1 + int(seed%3)
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// TestRecoveryEquivalenceGoldenWorkloads drives an oracle (memory-only)
+// detector and a durable detector through identical three-phase streams
+// (background batch, first attack half, second attack half) with a sweep
+// after each phase, crashing and recovering the durable one at two
+// different points. Every sweep after recovery must match the oracle
+// byte for byte.
+func TestRecoveryEquivalenceGoldenWorkloads(t *testing.T) {
+	for _, cfg := range recoveryWorkloads() {
+		ds := synth.MustGenerate(cfg)
+		background, attack := splitDataset(ds)
+		half := len(attack) / 2
+		phaseA, phaseB := attack[:half], attack[half:]
+		var bg []clicktable.Record
+		background.Each(func(r clicktable.Record) bool {
+			bg = append(bg, r)
+			return true
+		})
+
+		// Oracle: never crashes, never persists.
+		oracle, err := New(nil, smallParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle.AddBatch(bg)
+		r1 := mustSweep(t, oracle)
+		oracle.AddBatch(phaseA)
+		r2 := mustSweep(t, oracle)
+		oracle.AddBatch(phaseB)
+		r3 := mustSweep(t, oracle)
+
+		for _, crashPoint := range []string{"after-sweep-2", "mid-phase-3"} {
+			dir := t.TempDir()
+			// Small snapshot cadence and segments so recovery exercises
+			// snapshot + tail replay and segment rotation, not just one log.
+			dur := Durability{SnapshotEvery: 200, SegmentBytes: 1 << 16}
+			d1, info := openDurable(t, dir, dur)
+			if !info.ColdStart {
+				t.Fatalf("seed %d/%s: fresh dir was not a cold start: %+v", cfg.Seed, crashPoint, info)
+			}
+			d1.AddBatch(bg)
+			sameGroups(t, crashPoint+"/sweep1", r1, mustSweep(t, d1))
+			// Phase A half by batch, half by single clicks: both WAL paths.
+			d1.AddBatch(phaseA[:len(phaseA)/2])
+			for _, r := range phaseA[len(phaseA)/2:] {
+				d1.AddClick(r.UserID, r.ItemID, r.Clicks)
+			}
+			sameGroups(t, crashPoint+"/sweep2", r2, mustSweep(t, d1))
+			if crashPoint == "mid-phase-3" {
+				d1.AddBatch(phaseB)
+			}
+			// Crash: abandon d1 with its WAL handle mid-air.
+			d2, info := openDurable(t, dir, dur)
+			if info.ColdStart {
+				t.Fatalf("seed %d/%s: recovery saw a cold start", cfg.Seed, crashPoint)
+			}
+			if info.SnapshotClock == 0 && info.Replayed == 0 {
+				t.Fatalf("seed %d/%s: recovery found nothing: %+v", cfg.Seed, crashPoint, info)
+			}
+			if crashPoint == "after-sweep-2" {
+				d2.AddBatch(phaseB)
+			}
+			sameGroups(t, crashPoint+"/sweep3", r3, mustSweep(t, d2))
+			if got, want := d2.PendingEvents(), oracle.PendingEvents(); got != want {
+				t.Fatalf("seed %d/%s: recovered events=%d oracle=%d", cfg.Seed, crashPoint, got, want)
+			}
+			if got, want := d2.Detections(), oracle.Detections(); got != want {
+				t.Fatalf("seed %d/%s: recovered detections=%d oracle=%d", cfg.Seed, crashPoint, got, want)
+			}
+			if err := d2.Close(); err != nil {
+				t.Fatalf("seed %d/%s: close: %v", cfg.Seed, crashPoint, err)
+			}
+		}
+	}
+}
+
+// TestRecoverySnapshotTakenMidSweep crashes a detector whose LAST state
+// snapshot was taken while a sweep was in flight and which then died
+// before that sweep committed. The snapshot must have captured the sweep's
+// in-flight dirty set (Detector.inflight), or the recovered detector's
+// incremental sweep would silently skip the attack. Run under -race this
+// also exercises Snapshot racing a live sweep.
+func TestRecoverySnapshotTakenMidSweep(t *testing.T) {
+	defer faultinject.Reset()
+	ds := synth.MustGenerate(synth.SmallConfig())
+	background, attack := splitDataset(ds)
+	var bg []clicktable.Record
+	background.Each(func(r clicktable.Record) bool {
+		bg = append(bg, r)
+		return true
+	})
+
+	oracle, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.AddBatch(bg)
+	mustSweep(t, oracle)
+	oracle.AddBatch(attack)
+	want := mustSweep(t, oracle)
+
+	dir := t.TempDir()
+	d1, _ := openDurable(t, dir, Durability{})
+	d1.AddBatch(bg)
+	mustSweep(t, d1)
+	d1.AddBatch(attack)
+
+	// The second sweep blocks at its fault site (after taking ownership of
+	// the dirty set), we snapshot mid-sweep, then the sweep dies before
+	// committing — the injected panic stands in for the process crash.
+	started := make(chan struct{})
+	snapped := make(chan struct{})
+	faultinject.Arm("stream.sweep", faultinject.Fault{
+		Do: func() {
+			close(started)
+			<-snapped
+		},
+		Panic: "injected crash before commit",
+		Times: 1,
+	})
+	sweepDone := make(chan *detect.Result, 1)
+	go func() {
+		res, _ := d1.Sweep()
+		sweepDone <- res
+	}()
+	<-started
+	if err := d1.Snapshot(); err != nil {
+		t.Fatalf("mid-sweep snapshot: %v", err)
+	}
+	close(snapped)
+	if res := <-sweepDone; !res.Partial {
+		t.Fatal("faulted sweep was not partial")
+	}
+	faultinject.Reset()
+
+	d2, info := openDurable(t, dir, Durability{})
+	if info.SnapshotClock == 0 {
+		t.Fatalf("recovery ignored the mid-sweep snapshot: %+v", info)
+	}
+	sameGroups(t, "post-recovery sweep", want, mustSweep(t, d2))
+}
+
+// TestRecoveryCrashBetweenSnapshotAndAppend kills the detector after a
+// snapshot but exactly at the next WAL append (the stream.wal.append fault
+// site panics before any bytes land), then re-sends the lost click to both
+// the oracle and the recovered detector. State must rejoin the oracle
+// exactly: the half-applied click may not exist anywhere.
+func TestRecoveryCrashBetweenSnapshotAndAppend(t *testing.T) {
+	defer faultinject.Reset()
+	ds := synth.MustGenerate(synth.SmallConfig())
+	background, attack := splitDataset(ds)
+	var bg []clicktable.Record
+	background.Each(func(r clicktable.Record) bool {
+		bg = append(bg, r)
+		return true
+	})
+
+	oracle, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.AddBatch(bg)
+	mustSweep(t, oracle)
+
+	dir := t.TempDir()
+	d1, _ := openDurable(t, dir, Durability{})
+	d1.AddBatch(bg)
+	mustSweep(t, d1)
+	if err := d1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The very next WAL append dies before writing. AddClick panics while
+	// holding the detector lock — exactly what a crash looks like from the
+	// outside: the click is neither on disk nor recoverable.
+	faultinject.Arm("stream.wal.append", faultinject.Fault{Panic: "injected crash at append", Times: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("append fault did not fire")
+			}
+		}()
+		d1.AddClick(attack[0].UserID, attack[0].ItemID, attack[0].Clicks)
+	}()
+	faultinject.Reset()
+
+	d2, info := openDurable(t, dir, Durability{})
+	if info.SnapshotClock == 0 || info.Replayed != 0 {
+		t.Fatalf("expected pure-snapshot recovery, got %+v", info)
+	}
+	// The lost click is re-sent (an at-least-once upstream would do this),
+	// then both detectors see the rest of the attack.
+	oracle.AddBatch(attack)
+	want := mustSweep(t, oracle)
+	d2.AddBatch(attack)
+	sameGroups(t, "post-recovery sweep", want, mustSweep(t, d2))
+}
+
+// TestWALTornTailRecovery corrupts the WAL the way a crash does — cutting
+// the last frame short — and verifies recovery truncates, reports it, and
+// rejoins an oracle that never saw the torn click.
+func TestWALTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d1, _ := openDurable(t, dir, Durability{})
+	for i := 0; i < 10; i++ {
+		d1.AddClick(uint32(i), 1, 5)
+	}
+	// Tear the newest segment mid-frame, as if the process died inside the
+	// final write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			seg = filepath.Join(dir, e.Name())
+		}
+	}
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, info := openDurable(t, dir, Durability{})
+	if info.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", info)
+	}
+	if info.Replayed != 9 {
+		t.Fatalf("replayed %d clicks, want 9", info.Replayed)
+	}
+	oracle, _ := New(nil, smallParams())
+	for i := 0; i < 9; i++ {
+		oracle.AddClick(uint32(i), 1, 5)
+	}
+	sameGroups(t, "post-truncation sweep", mustSweep(t, oracle), mustSweep(t, d2))
+}
+
+// TestWALWriteFailureDegradesToMemoryOnly proves graceful degradation: a
+// disk failure flips the detector to memory-only operation — detection
+// keeps working on everything already ingested plus new clicks — and the
+// latched error is visible via DurabilityErr.
+func TestWALWriteFailureDegradesToMemoryOnly(t *testing.T) {
+	defer faultinject.Reset()
+	ds := synth.MustGenerate(synth.SmallConfig())
+	dir := t.TempDir()
+	d, _ := openDurable(t, dir, Durability{})
+	var recs []clicktable.Record
+	ds.Table.Each(func(r clicktable.Record) bool {
+		recs = append(recs, r)
+		return true
+	})
+	d.AddBatch(recs[:len(recs)/2])
+
+	diskErr := errors.New("injected disk failure")
+	faultinject.Arm(durable.SiteWrite, faultinject.Fault{Err: diskErr, Times: 1})
+	d.AddClick(1, 2, 3)
+	faultinject.Reset()
+	if err := d.DurabilityErr(); !errors.Is(err, diskErr) {
+		t.Fatalf("DurabilityErr = %v, want the injected failure", err)
+	}
+	// Ingestion and detection continue in memory.
+	d.AddBatch(recs[len(recs)/2:])
+	res := mustSweep(t, d)
+	oracle, _ := New(nil, smallParams())
+	oracle.AddBatch(recs[:len(recs)/2])
+	oracle.AddClick(1, 2, 3)
+	oracle.AddBatch(recs[len(recs)/2:])
+	sameGroups(t, "degraded sweep", mustSweep(t, oracle), res)
+	if err := d.Close(); !errors.Is(err, diskErr) && err != nil {
+		t.Fatalf("close after degrade: %v", err)
+	}
+}
+
+// TestSnapshotPrunesWALAndOldSnapshots checks retention: after snapshots,
+// covered WAL segments and surplus snapshot generations are deleted, and
+// the directory still recovers to the oracle state.
+func TestSnapshotPrunesWALAndOldSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	dur := Durability{SegmentBytes: 1 << 10, KeepSnapshots: 2}
+	d1, _ := openDurable(t, dir, dur)
+	oracle, _ := New(nil, smallParams())
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 200; i++ {
+			u, it, c := uint32(round*200+i), uint32(i%40), uint32(1+i%7)
+			d1.AddClick(u, it, c)
+			oracle.AddClick(u, it, c)
+		}
+		if err := d1.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, snaps := 0, 0
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".seg"):
+			segs++
+		case strings.HasSuffix(e.Name(), ".snap"):
+			snaps++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("kept %d snapshots, want 2", snaps)
+	}
+	if segs > 2 {
+		t.Fatalf("%d WAL segments survived snapshot pruning", segs)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, info := openDurable(t, dir, dur)
+	if info.SnapshotClock == 0 {
+		t.Fatalf("recovery: %+v", info)
+	}
+	sameGroups(t, "post-prune sweep", mustSweep(t, oracle), mustSweep(t, d2))
+}
+
+// TestResetAndRetuneSurviveRecovery: a logged reset must replay, so a
+// recovered detector's first sweep is full exactly when the original's
+// would have been.
+func TestResetAndRetuneSurviveRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d1, _ := openDurable(t, dir, Durability{})
+	for i := 0; i < 50; i++ {
+		d1.AddClick(uint32(i), uint32(i%10), 3)
+	}
+	mustSweep(t, d1)
+	d1.Reset()
+
+	oracle, _ := New(nil, smallParams())
+	for i := 0; i < 50; i++ {
+		oracle.AddClick(uint32(i), uint32(i%10), 3)
+	}
+	mustSweep(t, oracle)
+	oracle.Reset()
+
+	d2, info := openDurable(t, dir, Durability{})
+	if info.Replayed != 52 { // 50 clicks + 1 sweep + 1 reset
+		t.Fatalf("replayed %d records, want 52", info.Replayed)
+	}
+	sameGroups(t, "post-reset sweep", mustSweep(t, oracle), mustSweep(t, d2))
+}
+
+// TestOpenRequiresDir pins the misuse error.
+func TestOpenRequiresDir(t *testing.T) {
+	if _, _, err := Open(Durability{}, smallParams(), nil); err == nil {
+		t.Fatal("Open without Dir succeeded")
+	}
+}
+
+// TestSnapshotOnMemoryOnlyDetectorErrors pins the other misuse error.
+func TestSnapshotOnMemoryOnlyDetectorErrors(t *testing.T) {
+	d, err := New(nil, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Snapshot(); err == nil {
+		t.Fatal("Snapshot on memory-only detector succeeded")
+	}
+}

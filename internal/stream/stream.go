@@ -19,6 +19,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/durable"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
@@ -57,11 +59,34 @@ type Detector struct {
 	mu    sync.Mutex
 	table *clicktable.Table
 	graph *bipartite.Graph // nil when table has pending rows
-	dirty map[bipartite.NodeID]struct{}
+	// dirty maps each user touched since the last committed sweep to the
+	// record-clock value (seq) of their newest click. The seq lets sweep
+	// commits — live or WAL-replayed — retire exactly the users whose
+	// newest activity the sweep's snapshot actually saw.
+	dirty map[bipartite.NodeID]uint64
+
+	// seq is the detector's record clock: one tick per click event and per
+	// committed sweep. Durable detectors stamp WAL records with it, so a
+	// snapshot's clock says precisely which WAL tail still needs replay.
+	seq uint64
+
+	// inflight is the dirty set a running sweep took ownership of, kept
+	// visible so a concurrent state snapshot still includes those users —
+	// if the sweep aborts they merge back, and losing them from a snapshot
+	// taken mid-sweep would silently drop detections after recovery.
+	inflight map[bipartite.NodeID]uint64
 
 	// cached are the groups of the last detection, kept for cheap
 	// re-validation.
 	cached []detect.Group
+
+	// durability (all nil/zero for a memory-only detector; see Open)
+	wal       *durable.WAL
+	dur       Durability
+	walBuf    []byte
+	walErr    error // first WAL failure, latched; see DurabilityErr
+	sinceSnap int   // WAL records since the last snapshot
+	snapMu    sync.Mutex
 
 	// stats
 	events     int
@@ -91,7 +116,7 @@ func New(initial *clicktable.Table, params core.Params) (*Detector, error) {
 	d := &Detector{
 		params: params,
 		table:  clicktable.New(0),
-		dirty:  map[bipartite.NodeID]struct{}{},
+		dirty:  map[bipartite.NodeID]uint64{},
 	}
 	if initial != nil {
 		initial.Each(func(r clicktable.Record) bool {
@@ -104,14 +129,29 @@ func New(initial *clicktable.Table, params core.Params) (*Detector, error) {
 }
 
 // AddClick streams one aggregated click event. Safe to call while a sweep
-// is in flight; the click joins the next sweep's dirty region.
+// is in flight; the click joins the next sweep's dirty region. On a
+// durable detector the click is appended to the WAL before it touches the
+// in-memory state (write-ahead), so every click visible to a sweep is
+// recoverable.
 func (d *Detector) AddClick(user, item uint32, clicks uint32) {
 	if clicks == 0 {
 		return
 	}
 	d.mu.Lock()
+	d.seq++
+	logged := false
+	if d.walActiveLocked() {
+		d.walBuf = appendClickRecord(d.walBuf[:0], user, item, clicks)
+		faultinject.Hit("stream.wal.append")
+		if err := d.wal.Append(d.seq, d.walBuf); err != nil {
+			d.degradeLocked(err)
+		} else {
+			d.sinceSnap++
+			logged = true
+		}
+	}
 	d.table.Append(user, item, clicks)
-	d.dirty[user] = struct{}{}
+	d.dirty[user] = d.seq
 	d.graph = nil
 	d.events++
 	n := len(d.dirty)
@@ -119,6 +159,9 @@ func (d *Detector) AddClick(user, item uint32, clicks uint32) {
 	d.Obs.Counter("stream.events").Inc()
 	d.Obs.Counter("stream.clicks").Add(int64(clicks))
 	d.Obs.Gauge("stream.dirty_users").Set(int64(n))
+	if logged {
+		d.Obs.Counter("stream.wal.appends").Inc()
+	}
 }
 
 // AddBatch streams a batch of click records under one lock acquisition, so
@@ -130,14 +173,43 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 		return
 	}
 	d.mu.Lock()
+	walAppends := 0
+	if d.walActiveLocked() {
+		// Write-ahead for the whole batch in one syscall (and one fsync
+		// under SyncAlways): records are encoded back to back into walBuf,
+		// then sliced per entry once the buffer has stopped growing.
+		d.walBuf = d.walBuf[:0]
+		var ends []int
+		for _, r := range records {
+			if r.Clicks == 0 {
+				continue
+			}
+			d.walBuf = appendClickRecord(d.walBuf, r.UserID, r.ItemID, r.Clicks)
+			ends = append(ends, len(d.walBuf))
+		}
+		entries := make([]durable.Entry, len(ends))
+		prev := 0
+		for i, end := range ends {
+			entries[i] = durable.Entry{Seq: d.seq + uint64(i) + 1, Payload: d.walBuf[prev:end]}
+			prev = end
+		}
+		faultinject.Hit("stream.wal.append")
+		if err := d.wal.AppendAll(entries); err != nil {
+			d.degradeLocked(err)
+		} else {
+			d.sinceSnap += len(entries)
+			walAppends = len(entries)
+		}
+	}
 	n := 0
 	var clicks int64
 	for _, r := range records {
 		if r.Clicks == 0 {
 			continue
 		}
+		d.seq++
 		d.table.Append(r.UserID, r.ItemID, r.Clicks)
-		d.dirty[r.UserID] = struct{}{}
+		d.dirty[r.UserID] = d.seq
 		d.events++
 		n++
 		clicks += int64(r.Clicks)
@@ -150,6 +222,9 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 	d.Obs.Counter("stream.events").Add(int64(n))
 	d.Obs.Counter("stream.clicks").Add(clicks)
 	d.Obs.Gauge("stream.dirty_users").Set(int64(dirty))
+	if walAppends > 0 {
+		d.Obs.Counter("stream.wal.appends").Add(int64(walAppends))
+	}
 }
 
 // PendingEvents returns the number of click events streamed since creation.
@@ -237,7 +312,13 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	params := d.params
 	full := !d.lastFull
 	snap := d.dirty
-	d.dirty = map[bipartite.NodeID]struct{}{}
+	d.dirty = map[bipartite.NodeID]uint64{}
+	// inflight keeps the owned set visible to concurrent state snapshots;
+	// startSeq is the record-clock position this sweep's graph reflects —
+	// the WAL sweep record carries it so replayed commits retire exactly
+	// the same users.
+	d.inflight = snap
+	startSeq := d.seq
 	dirty := make([]bipartite.NodeID, 0, len(snap))
 	for u := range snap {
 		dirty = append(dirty, u)
@@ -245,6 +326,10 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	cached := append([]detect.Group(nil), d.cached...)
 	lastEnd := d.lastSweepEnd
 	d.mu.Unlock()
+	// Sorted seeds make the sweep bit-reproducible regardless of map
+	// iteration order — required for the recovery-equivalence guarantee
+	// (a replayed detector must re-derive byte-identical sweeps).
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
 	if !lastEnd.IsZero() {
 		d.Obs.Gauge("stream.sweep.lag_ms").Set(time.Since(lastEnd).Milliseconds())
 	}
@@ -377,12 +462,15 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	if err != nil {
 		// Graceful degradation: report what completed, commit nothing. The
 		// snapshotted dirty users merge back into the live set (which may
-		// have gained mid-sweep users) so the next sweep redoes this one's
-		// work.
+		// have gained mid-sweep users, whose newer seqs win) so the next
+		// sweep redoes this one's work.
 		d.mu.Lock()
-		for u := range snap {
-			d.dirty[u] = struct{}{}
+		for u, s := range snap {
+			if cur, ok := d.dirty[u]; !ok || cur < s {
+				d.dirty[u] = s
+			}
 		}
+		d.inflight = nil
 		remaining := len(d.dirty)
 		d.lastSweepEnd = time.Now()
 		d.mu.Unlock()
@@ -411,14 +499,33 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	// Commit: the sweep owned its dirty snapshot, so only the users whose
 	// clicks this sweep actually examined are retired; clicks streamed
 	// during the sweep are already accumulating in the live map for the
-	// next one.
+	// next one. On a durable detector the commit is written ahead to the
+	// WAL — a recovered detector replays it as "at record startSeq, these
+	// groups became the cache", which retires the same users by seq.
 	d.mu.Lock()
+	d.seq++
+	walLogged := false
+	if d.walActiveLocked() {
+		d.walBuf = appendSweepRecord(d.walBuf[:0], startSeq, groups)
+		faultinject.Hit("stream.wal.append")
+		if werr := d.wal.Append(d.seq, d.walBuf); werr != nil {
+			d.degradeLocked(werr)
+		} else {
+			d.sinceSnap++
+			walLogged = true
+		}
+	}
 	d.cached = groups
+	d.inflight = nil
 	remaining := len(d.dirty)
 	d.lastFull = true
 	d.detections++
 	d.lastSweepEnd = time.Now()
+	snapDue := d.wal != nil && d.walErr == nil && d.dur.SnapshotEvery > 0 && d.sinceSnap >= d.dur.SnapshotEvery
 	d.mu.Unlock()
+	if walLogged {
+		d.Obs.Counter("stream.wal.appends").Inc()
+	}
 	d.Obs.Gauge("stream.dirty_users").Set(int64(remaining))
 	if sink != nil {
 		// One verdict per committed group with its forensic evidence. Sweeps
@@ -437,6 +544,13 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 			})
 		}
 		sink.Emit(obs.Event{Type: obs.EventSweepCommit, Reason: sweepType, Groups: len(groups)})
+	}
+	if snapDue {
+		// Automatic snapshot at the sweep boundary — the only point where
+		// state is compact (dirty region retired) and no sweep is running.
+		// Failures are counted and audited inside Snapshot; the sweep's
+		// result stands either way.
+		_ = d.Snapshot()
 	}
 	record(res, nil)
 	return res, nil
@@ -475,21 +589,42 @@ func (d *Detector) FullDetectContext(ctx context.Context) (*detect.Result, error
 }
 
 // Reset drops the cached detection state, forcing the next Detect to run
-// fully (for example after a parameter change via Retune).
+// fully (for example after a parameter change via Retune). On a durable
+// detector the reset is WAL-logged so recovery reproduces it.
 func (d *Detector) Reset() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.logResetLocked()
 	d.resetLocked()
 }
 
-// resetLocked is Reset's body; d.mu must be held.
+// resetLocked is the pure state reset shared by Reset, Retune and WAL
+// replay; d.mu must be held. It does not touch the record clock — the
+// callers that originate a reset log it first.
 func (d *Detector) resetLocked() {
 	d.cached = nil
 	d.lastFull = false
-	d.dirty = map[bipartite.NodeID]struct{}{}
+	d.dirty = map[bipartite.NodeID]uint64{}
+}
+
+// logResetLocked advances the record clock and write-ahead-logs a reset.
+func (d *Detector) logResetLocked() {
+	d.seq++
+	if d.walActiveLocked() {
+		d.walBuf = appendResetRecord(d.walBuf[:0])
+		if err := d.wal.Append(d.seq, d.walBuf); err != nil {
+			d.degradeLocked(err)
+		} else {
+			d.sinceSnap++
+		}
+	}
 }
 
 // Retune swaps detection parameters and resets the incremental state.
+// Parameters themselves are configuration, not state: a durable detector
+// recovered via Open uses whatever params the reopening caller passes, so
+// operators must persist param changes in their own config alongside the
+// WAL directory.
 func (d *Detector) Retune(params core.Params) error {
 	if err := params.Validate(); err != nil {
 		return fmt.Errorf("stream: %w", err)
@@ -497,6 +632,7 @@ func (d *Detector) Retune(params core.Params) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.params = params
+	d.logResetLocked()
 	d.resetLocked()
 	return nil
 }

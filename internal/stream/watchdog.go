@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Backoff computes capped exponential backoff with jitter for sweep
+// retries. The zero value is usable (100ms base, 30s cap, 25% jitter).
+type Backoff struct {
+	// Base is the first retry's delay (0 = 100ms).
+	Base time.Duration
+	// Max caps the exponential growth (0 = 30s).
+	Max time.Duration
+	// Jitter is the fraction of the delay randomized on top of it, in
+	// [0, 1]; negative disables jitter (0 = 0.25). Jitter decorrelates the
+	// retry storms of detectors that degraded at the same moment.
+	Jitter float64
+	// Rand overrides the jitter source for deterministic tests
+	// (nil = math/rand).
+	Rand func(n int64) int64
+
+	attempt int
+}
+
+func (b *Backoff) normalize() {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 30 * time.Second
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.25
+	}
+	if b.Rand == nil {
+		b.Rand = rand.Int63n
+	}
+}
+
+// Next returns the delay before the next retry: Base doubled per attempt,
+// capped at Max, plus jitter.
+func (b *Backoff) Next() time.Duration {
+	b.normalize()
+	d := b.Base
+	for i := 0; i < b.attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	b.attempt++
+	if b.Jitter > 0 {
+		if span := int64(float64(d) * b.Jitter); span > 0 {
+			d += time.Duration(b.Rand(span))
+		}
+	}
+	return d
+}
+
+// Attempt returns how many times Next has been called since the last Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset returns the backoff to its base delay after a success.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Watchdog periodically sweeps a Detector and keeps sweeping through
+// failures: a failed or partial sweep is retried after an exponential
+// backoff with jitter (the sweep interval widens instead of hammering a
+// struggling detector), each retry is counted and audited, and the
+// stream.degraded gauge reflects detection health — 1 while sweeps are
+// failing or the WAL has degraded, 0 when healthy.
+type Watchdog struct {
+	// D is the detector to sweep.
+	D *Detector
+	// Interval is the healthy-path sweep cadence (0 = 1s).
+	Interval time.Duration
+	// Backoff paces retries after failures.
+	Backoff Backoff
+}
+
+// Run sweeps until ctx is done, returning ctx's error. Sweep failures
+// never stop the loop — they widen it.
+func (w *Watchdog) Run(ctx context.Context) error {
+	interval := w.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+		}
+		if _, err := w.D.SweepContext(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			delay := w.Backoff.Next()
+			attempt := w.Backoff.Attempt()
+			w.D.Obs.Counter("stream.sweep.retries").Inc()
+			w.D.Obs.Gauge("stream.degraded").Set(1)
+			if sink := w.D.Obs.Sink(); sink != nil {
+				sink.Emit(obs.Event{
+					Type:   obs.EventSweepRetry,
+					Round:  attempt,
+					Reason: err.Error(),
+					Stat:   "backoff=" + delay.String(),
+				})
+			}
+			timer.Reset(delay)
+			continue
+		}
+		w.Backoff.Reset()
+		healthy := int64(0)
+		if w.D.DurabilityErr() != nil {
+			healthy = 1 // WAL degradation persists regardless of sweep health
+		}
+		w.D.Obs.Gauge("stream.degraded").Set(healthy)
+		timer.Reset(interval)
+	}
+}

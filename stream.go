@@ -9,9 +9,47 @@ import (
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/stream"
 )
+
+// StreamDurability configures the durable state layer of a StreamDetector
+// (Config.Durability): a checksummed write-ahead log of every click and
+// sweep commit plus periodic atomic snapshots, all under Dir.
+type StreamDurability struct {
+	// Dir holds the WAL segments and snapshots. Reopening a detector with
+	// the same Dir recovers the previous incarnation's state.
+	Dir string
+	// Fsync makes every WAL append fsync (acknowledged clicks survive
+	// power loss). Off, appends are flushed to the OS per call — they
+	// survive a process crash but not a kernel panic or power cut.
+	Fsync bool
+	// SegmentBytes rotates WAL segments at this size (0 = 64 MiB).
+	SegmentBytes int64
+	// SnapshotEvery takes an automatic snapshot at the first sweep
+	// boundary after this many WAL records (0 disables; Snapshot can
+	// still be called explicitly).
+	SnapshotEvery int
+	// KeepSnapshots retains this many snapshot generations (< 1 = 2).
+	KeepSnapshots int
+}
+
+// StreamRecovery reports what a durable StreamDetector reconstructed when
+// it opened.
+type StreamRecovery struct {
+	// ColdStart is true when the directory held no usable state.
+	ColdStart bool
+	// SnapshotClock is the record clock of the loaded snapshot (0 if
+	// recovery replayed the WAL from the beginning).
+	SnapshotClock uint64
+	// ReplayedRecords is how many WAL records were applied on top of the
+	// snapshot.
+	ReplayedRecords int
+	// TruncatedBytes is how many torn trailing WAL bytes (a crash wound)
+	// were cut during recovery.
+	TruncatedBytes int64
+}
 
 // StreamDetector is the incremental detection surface: feed click events
 // continuously and sweep periodically. Sweeps after the first are scoped to
@@ -24,15 +62,25 @@ import (
 // snapshot; clicks streamed during a sweep land in the next one. Running
 // multiple sweeps concurrently is not supported.
 type StreamDetector struct {
-	inner *stream.Detector
-	obs   *obs.Observer
+	inner    *stream.Detector
+	obs      *obs.Observer
+	recovery *StreamRecovery
 }
 
 // NewStreamDetector creates a streaming detector, optionally warm-started
 // from an existing graph's clicks. Config semantics match Detect; derived
 // thresholds (zero THot/TClick) are resolved against the initial graph, so
 // a warm start is recommended when relying on derivation.
+//
+// With Config.Durability set, the detector opens (or recovers) durable
+// state under Durability.Dir instead — see StreamDurability. Durable
+// detectors reject a warm-start graph (the recovered state replaces it)
+// and require explicit THot/TClick; call Close when done and Recovery to
+// inspect what was reconstructed.
 func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
+	if cfg.Durability != nil {
+		return openDurableStreamDetector(initial, cfg)
+	}
 	var tbl *clicktable.Table
 	var bg *bipartite.Graph
 	if initial != nil {
@@ -51,6 +99,70 @@ func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
 	}
 	inner.Obs = auditObserver(cfg)
 	return &StreamDetector{inner: inner, obs: cfg.Observer}, nil
+}
+
+// openDurableStreamDetector is NewStreamDetector's durable path.
+func openDurableStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
+	if initial != nil {
+		return nil, errors.New("fakeclick: Durability cannot be combined with a warm-start graph (the recovered state replaces it)")
+	}
+	if cfg.THot == 0 || cfg.TClick == 0 {
+		return nil, errors.New("fakeclick: Durability requires explicit THot and TClick (derived thresholds could differ across restarts)")
+	}
+	params, err := resolveParams(bipartite.NewGraph(0, 0), cfg)
+	if err != nil {
+		return nil, err
+	}
+	sync := durable.SyncNever
+	if cfg.Durability.Fsync {
+		sync = durable.SyncAlways
+	}
+	inner, info, err := stream.Open(stream.Durability{
+		Dir:           cfg.Durability.Dir,
+		SegmentBytes:  cfg.Durability.SegmentBytes,
+		Sync:          sync,
+		SnapshotEvery: cfg.Durability.SnapshotEvery,
+		KeepSnapshots: cfg.Durability.KeepSnapshots,
+	}, params, auditObserver(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("fakeclick: %w", err)
+	}
+	return &StreamDetector{
+		inner: inner,
+		obs:   cfg.Observer,
+		recovery: &StreamRecovery{
+			ColdStart:       info.ColdStart,
+			SnapshotClock:   info.SnapshotClock,
+			ReplayedRecords: info.Replayed,
+			TruncatedBytes:  info.TruncatedBytes,
+		},
+	}, nil
+}
+
+// Recovery returns what a durable detector reconstructed at open; nil for
+// a memory-only detector.
+func (s *StreamDetector) Recovery() *StreamRecovery { return s.recovery }
+
+// Snapshot atomically persists the detector's full state and prunes the
+// WAL it covers. Errors on a memory-only detector.
+func (s *StreamDetector) Snapshot() error {
+	if err := s.inner.Snapshot(); err != nil {
+		return fmt.Errorf("fakeclick: %w", err)
+	}
+	return nil
+}
+
+// DurabilityErr reports the latched WAL failure after which the detector
+// degraded to memory-only operation; nil while durability is healthy.
+func (s *StreamDetector) DurabilityErr() error { return s.inner.DurabilityErr() }
+
+// Close flushes and closes the WAL of a durable detector (no-op for a
+// memory-only one). The detector keeps working in memory afterwards.
+func (s *StreamDetector) Close() error {
+	if err := s.inner.Close(); err != nil {
+		return fmt.Errorf("fakeclick: %w", err)
+	}
+	return nil
 }
 
 // AddClicks streams one aggregated click event.

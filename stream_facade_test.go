@@ -99,3 +99,77 @@ func TestStreamDetectorValidatesConfig(t *testing.T) {
 		t.Error("expected config error")
 	}
 }
+
+// TestStreamDetectorDurableRecovery exercises the facade's durable mode:
+// stream an attack into a detector backed by Config.Durability, abandon it
+// without Close (a crash), reopen the same directory, and require the
+// recovered detector to report the same groups as the dead one did.
+func TestStreamDetectorDurableRecovery(t *testing.T) {
+	_, ds := syntheticGraph(t)
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.Durability = &StreamDurability{Dir: dir, SnapshotEvery: 500}
+
+	if _, err := NewStreamDetector(NewGraph(), cfg); err == nil {
+		t.Fatal("durable detector accepted a warm-start graph")
+	}
+	noThresholds := cfg
+	noThresholds.THot = 0
+	if _, err := NewStreamDetector(nil, noThresholds); err == nil {
+		t.Fatal("durable detector accepted derived thresholds")
+	}
+
+	sd, err := NewStreamDetector(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := sd.Recovery(); rec == nil || !rec.ColdStart {
+		t.Fatalf("fresh directory recovery = %+v, want cold start", rec)
+	}
+	ds.Table.Each(func(r clicktable.Record) bool {
+		sd.AddClicks(r.UserID, r.ItemID, r.Clicks)
+		return true
+	})
+	rep, err := sd.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) == 0 {
+		t.Fatal("streamed attack not detected before the crash")
+	}
+	if err := sd.DurabilityErr(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the detector is abandoned, sd.Close() never runs.
+
+	sd2, err := NewStreamDetector(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd2.Close()
+	rec := sd2.Recovery()
+	if rec == nil || rec.ColdStart {
+		t.Fatalf("recovery = %+v, want warm", rec)
+	}
+	if rec.SnapshotClock == 0 && rec.ReplayedRecords == 0 {
+		t.Fatalf("recovery reconstructed nothing: %+v", rec)
+	}
+	rep2, err := sd2.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Groups) != len(rep.Groups) {
+		t.Fatalf("recovered sweep found %d groups, pre-crash found %d", len(rep2.Groups), len(rep.Groups))
+	}
+	for i := range rep.Groups {
+		if rep2.Groups[i].Score != rep.Groups[i].Score ||
+			len(rep2.Groups[i].Users) != len(rep.Groups[i].Users) ||
+			len(rep2.Groups[i].Items) != len(rep.Groups[i].Items) {
+			t.Fatalf("group %d diverged after recovery:\n pre-crash %+v\n recovered %+v",
+				i, rep.Groups[i], rep2.Groups[i])
+		}
+	}
+	if err := sd2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}
