@@ -25,25 +25,21 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
-	"time"
 
 	fakeclick "repro"
 	"repro/internal/baselines"
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
-	"repro/internal/durable"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/synth"
@@ -108,21 +104,30 @@ func run() int {
 		defer cancel()
 	}
 
-	observer, debugSrv, auditFile, err := startObservability("ricd", *tracePath, *traceTree, *auditPath, *runsFlag, *debugAddr)
+	cli, err := obs.StartCLI(obs.CLIConfig{
+		Namespace: "ricd",
+		TracePath: *tracePath,
+		TraceTree: *traceTree,
+		AuditPath: *auditPath,
+		Runs:      *runsFlag,
+		DebugAddr: *debugAddr,
+	})
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
-	defer stopDebugServer(debugSrv)
-	defer closeAudit(auditFile, observer)
+	// Pinned teardown (obs.CLIShutdownSteps): debug server stop, then
+	// audit close — runs once on every exit path.
+	defer cli.Shutdown()
+	observer := cli.Obs()
 
 	if *algo != "" && !strings.EqualFold(*algo, "ricd") {
 		if err := runAlgo(*algo, *in, *labels, *k1, *k2, *alpha, *thot, uint32(*tclick)); err != nil {
 			log.Print(err)
 			return 1
 		}
-		finishObservability(observer, *tracePath, *traceTree, *runsFlag)
-		holdDebug(ctx, debugSrv, *hold)
+		cli.Finish()
+		cli.Hold(ctx, *hold)
 		return 0
 	}
 
@@ -219,141 +224,12 @@ func run() int {
 			*labels, truth.NumAbnormal(), ev)
 	}
 
-	finishObservability(observer, *tracePath, *traceTree, *runsFlag)
-	holdDebug(ctx, debugSrv, *hold)
+	cli.Finish()
+	cli.Hold(ctx, *hold)
 	if err != nil || rep.Partial {
 		return 2 // cut-short or panic-degraded run: results incomplete
 	}
 	return 0
-}
-
-// ledgerSize bounds the run ledger: enough for a feedback loop's inner
-// runs plus surrounding activity, small enough that /debug/runs stays a
-// quick read.
-const ledgerSize = 64
-
-// startObservability builds the run's observer when any observability flag
-// is set, and starts the pprof/expvar debug server. The returned observer
-// is nil (free no-op) when all flags are off; the returned server is
-// non-nil only when debugAddr was set, and is shut down via
-// stopDebugServer so in-flight debug requests drain on exit. With -audit
-// the observer carries a JSONL event sink over the returned file (closed
-// via closeAudit); with -runs or a debug server it carries a bounded run
-// ledger served at /debug/runs.
-func startObservability(namespace, tracePath string, traceTree bool, auditPath string,
-	runs bool, debugAddr string) (*obs.Observer, *http.Server, *os.File, error) {
-
-	if tracePath == "" && !traceTree && auditPath == "" && !runs && debugAddr == "" {
-		return nil, nil, nil, nil
-	}
-	o := obs.NewObserver(namespace)
-	var auditFile *os.File
-	if auditPath != "" {
-		f, err := os.Create(auditPath)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("-audit: %w", err)
-		}
-		auditFile = f
-		o.Events = obs.NewEventSink(f, 0)
-	}
-	if runs || debugAddr != "" {
-		o.Ledger = obs.NewLedger(ledgerSize)
-	}
-	var srv *http.Server
-	if debugAddr != "" {
-		// Importing net/http/pprof and expvar registers /debug/pprof/ and
-		// /debug/vars on the default mux; the snapshot map, the Prometheus
-		// exposition, and the run ledger join them.
-		expvar.Publish(namespace+"_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
-		http.Handle("/metrics", obs.MetricsHandler(namespace, o.Metrics))
-		http.Handle("/debug/runs", obs.RunsHandler(o.Ledger))
-		srv = &http.Server{Addr: debugAddr}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("debug server: %v", err)
-			}
-		}()
-		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars, /metrics, /debug/runs)\n", debugAddr)
-	}
-	return o, srv, auditFile, nil
-}
-
-// stopDebugServer gracefully shuts down the debug server (nil is a no-op),
-// bounding the drain so a stuck debug client cannot hold the exit hostage.
-func stopDebugServer(srv *http.Server) {
-	if srv == nil {
-		return
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("debug server shutdown: %v", err)
-	}
-}
-
-// holdDebug keeps the process alive (and the debug server scrapeable) for
-// the -hold duration, or until the run context is cancelled (SIGINT).
-func holdDebug(ctx context.Context, srv *http.Server, d time.Duration) {
-	if srv == nil || d <= 0 {
-		return
-	}
-	fmt.Printf("holding debug server for %v (interrupt to exit sooner)\n", d)
-	select {
-	case <-ctx.Done():
-	case <-time.After(d):
-	}
-}
-
-// closeAudit flushes and closes the -audit file, surfacing any write error
-// the sink latched mid-run.
-func closeAudit(f *os.File, o *obs.Observer) {
-	if f == nil {
-		return
-	}
-	if o != nil && o.Events != nil {
-		if err := o.Events.Err(); err != nil {
-			log.Printf("-audit: %v", err)
-		}
-	}
-	// fsync before close: an audit trail that claims to exist should
-	// survive the machine failing right after exit, same as the WAL.
-	if err := f.Sync(); err != nil {
-		log.Printf("-audit: %v", err)
-	}
-	if err := f.Close(); err != nil {
-		log.Printf("-audit: %v", err)
-	}
-}
-
-// finishObservability ends the trace and emits the requested artifacts.
-// The trace file is written atomically (temp + fsync + rename) so a crash
-// mid-write can never leave a torn half-JSON artifact.
-func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool) {
-	if o == nil {
-		return
-	}
-	o.Trace.Finish()
-	if tracePath != "" {
-		data, err := o.Trace.JSON()
-		if err != nil {
-			log.Printf("-trace: %v", err)
-		} else if err := durable.WriteFileAtomic(tracePath, data, 0o644); err != nil {
-			log.Printf("-trace: %v", err)
-		} else {
-			fmt.Printf("stage trace written to %s\n", tracePath)
-		}
-	}
-	if traceTree {
-		fmt.Print(o.Trace.Tree())
-	}
-	if runs {
-		data, err := o.Ledger.JSON()
-		if err != nil {
-			log.Printf("-runs: %v", err)
-		} else {
-			fmt.Printf("run ledger:\n%s\n", data)
-		}
-	}
 }
 
 // loadGraph reads a click-table CSV into a facade graph.

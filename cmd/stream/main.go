@@ -9,8 +9,19 @@
 //	stream -events events.csv [-thot 1000] [-tclick 12] [-labels labels.csv]
 //	       [-wal-dir state/] [-snapshot-every 5000] [-fsync]
 //	       [-buffer 4096] [-shed-policy block|oldest|newest]
+//	       [-serve-addr :8080] [-serve-inflight 256]
 //	       [-timeout 1m] [-trace out.json] [-trace-tree] [-audit out.jsonl]
 //	       [-runs] [-debug-addr :6060] [-hold 30s]
+//
+// -serve-addr starts the online verdict query service: every committed
+// sweep compiles an immutable verdict index and publishes it atomically
+// under a new epoch, and the HTTP endpoints (/v1/user/{id}, /v1/item/{id},
+// /v1/pair?u=&i=, /v1/group/{id}, POST /v1/check, /healthz) answer the
+// recommender's per-impression "is this forged?" question lock-free from
+// the current epoch. -serve-inflight bounds concurrent queries; excess
+// requests are shed with 429 (counted, never silent). /healthz reports the
+// index epoch, its staleness, and the durability-degraded flag. On
+// SIGTERM the query server drains FIRST (see shutdownSteps).
 //
 // -wal-dir enables durable state: every click and sweep commit is written
 // ahead to a checksummed WAL under the directory, with periodic atomic
@@ -46,7 +57,6 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -58,12 +68,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bipartite"
 	"repro/internal/clicktable"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/durable"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/synth"
 )
@@ -88,6 +100,8 @@ func run() int {
 		fsyncFlag  = flag.Bool("fsync", false, "with -wal-dir: fsync every WAL append (survive power loss, not just process death)")
 		bufferCap  = flag.Int("buffer", 0, "bounded pending-click buffer between reader and detector (0 = ingest directly)")
 		shedPolStr = flag.String("shed-policy", "block", "full-buffer policy: block (backpressure), oldest or newest (load shedding)")
+		serveAddr  = flag.String("serve-addr", "", "serve the online verdict query API (/v1/*, /healthz) on this address (e.g. :8080)")
+		serveInfl  = flag.Int("serve-inflight", 256, "with -serve-addr: max concurrent queries before 429 shedding (0 = unlimited)")
 		tracePath  = flag.String("trace", "", "write the replay's stage trace to this file as JSON")
 		traceTree  = flag.Bool("trace-tree", false, "print the human-readable stage tree after the replay")
 		auditPath  = flag.String("audit", "", "write the explainable audit trail to this file as JSONL (one event per pipeline decision)")
@@ -153,11 +167,19 @@ func run() int {
 	params.Workers = *workers
 	params.NoFrontier = *noFront
 
-	observer, debugSrv, auditFile, err := startObservability("stream", *tracePath, *traceTree, *auditPath, *runsFlag, *debugAddr)
+	cli, err := obs.StartCLI(obs.CLIConfig{
+		Namespace: "stream",
+		TracePath: *tracePath,
+		TraceTree: *traceTree,
+		AuditPath: *auditPath,
+		Runs:      *runsFlag,
+		DebugAddr: *debugAddr,
+	})
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
+	observer := cli.Obs()
 
 	var det *stream.Detector
 	if *walDir != "" {
@@ -183,9 +205,32 @@ func run() int {
 	}
 	if err != nil {
 		log.Print(err)
-		stopDebugServer(debugSrv)
-		closeAudit(auditFile, observer)
+		cli.Shutdown()
 		return 1
+	}
+
+	// Online verdict serving: every committed sweep compiles the sweep's
+	// result into an immutable index and publishes it under a new epoch;
+	// queries answer lock-free from whichever epoch is current.
+	var verdicts *serve.Store
+	var serveSrv *http.Server
+	if *serveAddr != "" {
+		verdicts = serve.NewStore(observer)
+		det.OnCommit = func(res *detect.Result, g *bipartite.Graph) {
+			_ = verdicts.Publish(serve.Compile(g, res, params.THot, params.TClick))
+		}
+		handler := serve.NewServer(verdicts, serve.Options{
+			Obs:         observer,
+			MaxInflight: *serveInfl,
+			Degraded:    func() bool { return det.DurabilityErr() != nil },
+		})
+		serveSrv = &http.Server{Addr: *serveAddr, Handler: handler}
+		go func() {
+			if serr := serveSrv.ListenAndServe(); serr != nil && serr != http.ErrServerClosed {
+				log.Printf("verdict server: %v", serr)
+			}
+		}()
+		fmt.Printf("verdict server on %s (/v1/user/{id}, /v1/item/{id}, /v1/pair, /v1/group/{id}, /v1/check, /healthz)\n", *serveAddr)
 	}
 
 	var buf *stream.Buffer
@@ -202,6 +247,15 @@ func run() int {
 			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			for _, step := range shutdownSteps(
+				func() { // 0: drain the query server — refuse new verdict
+					// reads, finish in-flight ones, while state is intact
+					if serveSrv == nil {
+						return
+					}
+					if err := serveSrv.Shutdown(sctx); err != nil {
+						log.Printf("verdict server shutdown: %v", err)
+					}
+				},
 				func() { // 1: stop intake, flush pending clicks into the detector
 					if buf == nil {
 						return
@@ -225,8 +279,8 @@ func run() int {
 						log.Printf("wal close: %v", err)
 					}
 				},
-				func() { stopDebugServer(debugSrv) },       // 3: stop looking alive
-				func() { closeAudit(auditFile, observer) }, // 4: audit captured steps 1–3
+				cli.StopServer, // 3: stop looking alive
+				cli.CloseAudit, // 4: audit captured steps 0–3
 			) {
 				step()
 			}
@@ -291,8 +345,8 @@ func run() int {
 		log.Printf("durability degraded mid-replay (state is memory-only from the failure point): %v", derr)
 	}
 
-	finishObservability(observer, *tracePath, *traceTree, *runsFlag)
-	holdDebug(ctx, debugSrv, *hold)
+	cli.Finish()
+	holdServers(ctx, *hold, cli, serveSrv)
 	shutdown()
 	if interrupted {
 		log.Print("replay interrupted — results above are incomplete")
@@ -303,144 +357,39 @@ func run() int {
 
 // shutdownSteps returns the pipeline teardown in its one correct order:
 //
+//  0. drain the verdict query server — new queries are refused and
+//     in-flight ones finish while the state they read is still whole;
 //  1. stop intake and flush the pending buffer — no state left in queues;
 //  2. snapshot and close the WAL — everything accepted is durable;
 //  3. stop the debug server — the process may now stop looking alive,
-//     and metrics stayed scrapeable while 1–2 ran;
-//  4. close the audit sink — steps 1–3 remain in the audit trail.
+//     and metrics stayed scrapeable while 0–2 ran;
+//  4. close the audit sink — steps 0–3 remain in the audit trail.
 //
-// Closing the WAL after the debug server would open a window where
-// operators see the process as gone while it still owns the log; closing
-// audit any earlier would lose the shutdown's own events.
-// TestShutdownStepOrder pins this order.
-func shutdownSteps(flushBuffer, closeWAL, stopDebug, closeAudit func()) []func() {
-	return []func(){flushBuffer, closeWAL, stopDebug, closeAudit}
+// Draining the query server any later would leave the load balancer
+// routing verdict reads at a process tearing its state down; closing the
+// WAL after the debug server would open a window where operators see the
+// process as gone while it still owns the log; closing audit any earlier
+// would lose the shutdown's own events. The 3–4 tail is the shared
+// obs.CLIShutdownSteps order. TestShutdownStepOrder pins all five.
+func shutdownSteps(drainServe, flushBuffer, closeWAL, stopDebug, closeAudit func()) []func() {
+	return []func(){drainServe, flushBuffer, closeWAL, stopDebug, closeAudit}
 }
 
-// ledgerSize bounds the run ledger: one summary per daily sweep, so 64
-// covers a two-month replay while /debug/runs stays a quick read.
-const ledgerSize = 64
-
-// startObservability builds the replay's observer when any observability
-// flag is set, and starts the pprof/expvar debug server. Returns a nil
-// observer (free no-op) when all flags are off; the returned server is
-// non-nil only when debugAddr was set. With -audit the observer carries a
-// JSONL event sink over the returned file (closed via closeAudit); with
-// -runs or a debug server it carries a bounded run ledger served at
-// /debug/runs.
-func startObservability(namespace, tracePath string, traceTree bool, auditPath string,
-	runs bool, debugAddr string) (*obs.Observer, *http.Server, *os.File, error) {
-
-	if tracePath == "" && !traceTree && auditPath == "" && !runs && debugAddr == "" {
-		return nil, nil, nil, nil
-	}
-	o := obs.NewObserver(namespace)
-	var auditFile *os.File
-	if auditPath != "" {
-		f, err := os.Create(auditPath)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("-audit: %w", err)
-		}
-		auditFile = f
-		o.Events = obs.NewEventSink(f, 0)
-	}
-	if runs || debugAddr != "" {
-		o.Ledger = obs.NewLedger(ledgerSize)
-	}
-	var srv *http.Server
-	if debugAddr != "" {
-		// Importing net/http/pprof and expvar registers /debug/pprof/ and
-		// /debug/vars on the default mux; the snapshot map, the Prometheus
-		// exposition, and the run ledger join them.
-		expvar.Publish(namespace+"_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
-		http.Handle("/metrics", obs.MetricsHandler(namespace, o.Metrics))
-		http.Handle("/debug/runs", obs.RunsHandler(o.Ledger))
-		srv = &http.Server{Addr: debugAddr}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("debug server: %v", err)
-			}
-		}()
-		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars, /metrics, /debug/runs)\n", debugAddr)
-	}
-	return o, srv, auditFile, nil
-}
-
-// stopDebugServer gracefully shuts down the debug server (nil is a no-op),
-// bounding the drain so a stuck debug client cannot hold the exit hostage.
-func stopDebugServer(srv *http.Server) {
-	if srv == nil {
+// holdServers keeps the process alive for d while either long-lived
+// server (debug or verdict) is up, so operators can scrape and query
+// after the replay; SIGINT/SIGTERM (ctx) ends the hold early.
+func holdServers(ctx context.Context, d time.Duration, cli *obs.CLI, serveSrv *http.Server) {
+	if serveSrv == nil {
+		cli.Hold(ctx, d)
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("debug server shutdown: %v", err)
-	}
-}
-
-// holdDebug keeps the process alive (and the debug server scrapeable) for
-// the -hold duration, or until the replay context is cancelled (SIGINT).
-func holdDebug(ctx context.Context, srv *http.Server, d time.Duration) {
-	if srv == nil || d <= 0 {
+	if d <= 0 {
 		return
 	}
-	fmt.Printf("holding debug server for %v (interrupt to exit sooner)\n", d)
+	fmt.Printf("holding verdict server for %v (interrupt to exit sooner)\n", d)
 	select {
 	case <-ctx.Done():
 	case <-time.After(d):
-	}
-}
-
-// closeAudit flushes and closes the -audit file, fsyncing first so an
-// audit trail that claims to exist survives the machine failing right
-// after exit — the same durability discipline as the WAL. Surfaces any
-// write error the sink latched mid-replay.
-func closeAudit(f *os.File, o *obs.Observer) {
-	if f == nil {
-		return
-	}
-	if o != nil && o.Events != nil {
-		if err := o.Events.Err(); err != nil {
-			log.Printf("-audit: %v", err)
-		}
-	}
-	if err := f.Sync(); err != nil {
-		log.Printf("-audit: %v", err)
-	}
-	if err := f.Close(); err != nil {
-		log.Printf("-audit: %v", err)
-	}
-}
-
-// finishObservability ends the trace and emits the requested artifacts.
-// The trace file is written atomically (temp + rename), so a crash mid-
-// write can never leave a torn half-JSON artifact for tooling to choke on.
-func finishObservability(o *obs.Observer, tracePath string, traceTree, runs bool) {
-	if o == nil {
-		return
-	}
-	o.Trace.Finish()
-	if tracePath != "" {
-		data, err := o.Trace.JSON()
-		if err != nil {
-			log.Printf("-trace: %v", err)
-		} else if err := durable.WriteFileAtomic(tracePath, data, 0o644); err != nil {
-			log.Printf("-trace: %v", err)
-		} else {
-			fmt.Printf("stage trace written to %s\n", tracePath)
-		}
-	}
-	if traceTree {
-		fmt.Print(o.Trace.Tree())
-	}
-	if runs {
-		data, err := o.Ledger.JSON()
-		if err != nil {
-			log.Printf("-runs: %v", err)
-		} else {
-			fmt.Printf("run ledger:\n%s\n", data)
-		}
 	}
 }
 

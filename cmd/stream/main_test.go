@@ -29,16 +29,18 @@ func TestMain(m *testing.M) {
 }
 
 // TestShutdownStepOrder pins the teardown sequence documented on
-// shutdownSteps: buffer flush → WAL close → debug server stop → audit
-// close. Reordering any two steps either loses accepted clicks, leaves a
-// window where the process looks dead while owning the WAL, or drops the
-// shutdown's own audit events.
+// shutdownSteps: query-server drain → buffer flush → WAL close → debug
+// server stop → audit close. Reordering any two steps either keeps
+// serving verdicts from a process tearing its state down, loses accepted
+// clicks, leaves a window where the process looks dead while owning the
+// WAL, or drops the shutdown's own audit events.
 func TestShutdownStepOrder(t *testing.T) {
 	var got []string
 	step := func(name string) func() {
 		return func() { got = append(got, name) }
 	}
 	for _, f := range shutdownSteps(
+		step("drain-serve"),
 		step("flush-buffer"),
 		step("close-wal"),
 		step("stop-debug"),
@@ -46,7 +48,7 @@ func TestShutdownStepOrder(t *testing.T) {
 	) {
 		f()
 	}
-	want := []string{"flush-buffer", "close-wal", "stop-debug", "close-audit"}
+	want := []string{"drain-serve", "flush-buffer", "close-wal", "stop-debug", "close-audit"}
 	if len(got) != len(want) {
 		t.Fatalf("ran %d steps, want %d", len(got), len(want))
 	}

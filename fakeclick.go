@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"strings"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/i2i"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // Graph is a user-item click graph under construction or ready for
@@ -151,6 +153,16 @@ type Config struct {
 	// TClick — derived thresholds could silently differ across restarts —
 	// and no warm-start graph. Batch Detect ignores it.
 	Durability *StreamDurability
+	// Serve, when non-nil, is the online serving hook: every complete
+	// detection outcome is compiled into an immutable verdict index
+	// (Report.Index) and published to the store atomically — a
+	// StreamDetector publishes after every committed sweep, the batch
+	// entry points after every complete run. Partial (cut-short) outcomes
+	// are never published; the previous epoch keeps serving. Mount the
+	// store behind NewVerdictServer to answer /v1/user, /v1/item,
+	// /v1/pair, /v1/group, /v1/check and /healthz. Construct with
+	// NewVerdictStore.
+	Serve *VerdictStore
 }
 
 // AuditEvent is one entry of the detection audit trail; see the obs
@@ -168,6 +180,32 @@ func NewAuditSink(w io.Writer, ring int) *obs.EventSink { return obs.NewEventSin
 // trace rooted at rootName plus a metrics registry. Re-exported from the
 // internal obs package so applications can construct one.
 func NewObserver(rootName string) *obs.Observer { return obs.NewObserver(rootName) }
+
+// VerdictIndex is an immutable, epoch-stamped query index over one
+// detection outcome: per-user and per-item verdicts with risk scores and
+// group memberships, pair ("is this co-click inside a detected group")
+// lookups, and group forensics. Compile one with Report.Index; publish it
+// via a VerdictStore. See the serve package for the full documentation.
+type VerdictIndex = serve.Index
+
+// VerdictStore is the atomic publication point between a detector and the
+// query servers: Publish swaps in a freshly compiled VerdictIndex under
+// the next epoch; concurrent readers are lock-free and never observe a
+// half-built index (Config.Serve).
+type VerdictStore = serve.Store
+
+// NewVerdictStore returns an empty verdict store for Config.Serve. The
+// observer (nil allowed) receives serve.* swap metrics and one audit
+// event per index publication.
+func NewVerdictStore(o *obs.Observer) *VerdictStore { return serve.NewStore(o) }
+
+// NewVerdictServer returns the HTTP query handler over a verdict store:
+// GET /v1/user/{id}, /v1/item/{id}, /v1/pair?u=&i=, /v1/group/{id}, POST
+// /v1/check (batch), GET /healthz. See serve.Options for the in-flight
+// bound, shedding and health wiring.
+func NewVerdictServer(store *VerdictStore, opts serve.Options) http.Handler {
+	return serve.NewServer(store, opts)
+}
 
 // DefaultConfig returns the paper's experiment defaults with data-derived
 // thresholds.
@@ -260,6 +298,34 @@ func (r *Report) Summary() string {
 	return b.String()
 }
 
+// Index compiles the report into an immutable VerdictIndex for the online
+// serving layer. The index answers exactly what a direct scan of the
+// report answers — a user/item is suspicious iff it appears in a group
+// (with its RankedUsers/RankedItems risk score), a pair is in-group iff
+// some single group contains both ends — which the query-equivalence
+// harness pins byte-for-byte. The index references the report's slices
+// without copying; do not mutate the report afterwards.
+func (r *Report) Index() *VerdictIndex {
+	d := serve.Data{THot: r.THot, TClick: r.TClick, Partial: r.Partial}
+	for _, grp := range r.Groups {
+		d.Groups = append(d.Groups, serve.Group{
+			Users:          grp.Users,
+			Items:          grp.Items,
+			Score:          grp.Score,
+			Density:        grp.Density,
+			MeanEdgeClicks: grp.MeanEdgeClicks,
+			OutsideShare:   grp.OutsideShare,
+		})
+	}
+	for _, n := range r.RankedUsers {
+		d.RankedUsers = append(d.RankedUsers, serve.Scored{ID: n.ID, Score: n.Score})
+	}
+	for _, n := range r.RankedItems {
+		d.RankedItems = append(d.RankedItems, serve.Scored{ID: n.ID, Score: n.Score})
+	}
+	return serve.Build(d)
+}
+
 // TopUsers returns the k highest-risk users.
 func (r *Report) TopUsers(k int) []RankedNode { return topK(r.RankedUsers, k) }
 
@@ -308,7 +374,20 @@ func DetectContext(ctx context.Context, g *Graph, cfg Config) (*Report, error) {
 		d.Variant = core.VariantUI
 	}
 	res, err := d.DetectContext(ctx, bg)
-	return finishReport(bg, res, params, cfg.Observer, err)
+	rep, err := finishReport(bg, res, params, cfg.Observer, err)
+	publishVerdicts(cfg, rep, err)
+	return rep, err
+}
+
+// publishVerdicts compiles and publishes a complete report to Config.Serve
+// (nil store or partial/failed outcome: no-op — the previous epoch keeps
+// serving). A Publish failure is already counted and audited by the store;
+// the detection outcome stands regardless, so it is not propagated here.
+func publishVerdicts(cfg Config, rep *Report, err error) {
+	if cfg.Serve == nil || rep == nil || rep.Partial || err != nil {
+		return
+	}
+	_ = cfg.Serve.Publish(rep.Index())
 }
 
 // auditObserver returns the observer the pipeline should run under:
@@ -351,7 +430,9 @@ func DetectWithExpectationContext(ctx context.Context, g *Graph, cfg Config,
 		return nil, err
 	}
 	fr, err := core.DetectWithFeedbackContext(ctx, bg, params, expectedNodes, maxRounds, auditObserver(cfg))
-	return finishReport(bg, fr.Result, fr.Params, cfg.Observer, err)
+	rep, err := finishReport(bg, fr.Result, fr.Params, cfg.Observer, err)
+	publishVerdicts(cfg, rep, err)
+	return rep, err
 }
 
 // finishReport applies the graceful-degradation contract shared by the

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// This file is the shared CLI observability bootstrap: every command
+// (ricd, stream, serve) previously hand-rolled the same observer
+// construction, audit-file plumbing, pprof/expvar debug server and
+// artifact emission, drifting apart comment by comment. StartCLI owns
+// that lifecycle in one place.
+//
+// The helper deliberately does NOT import net/http/pprof: obs is linked
+// into every binary, and pprof's blank import registers handlers on the
+// process-global DefaultServeMux as a side effect. Commands that want
+// /debug/pprof/ keep their own `_ "net/http/pprof"` import; the helper
+// merely serves whatever mux it is given (DefaultServeMux by default,
+// which is where pprof and expvar register).
+
+// DefaultLedgerSize bounds the run ledger: one summary per run or daily
+// sweep, so 64 covers a feedback loop's inner runs or a two-month replay
+// while /debug/runs stays a quick read.
+const DefaultLedgerSize = 64
+
+// CLIConfig declares which observability features a command run wants —
+// the union of the ricd/stream/serve flag sets.
+type CLIConfig struct {
+	// Namespace prefixes the Prometheus exposition and the expvar map
+	// (e.g. "ricd" → ricd_core_prune_rounds, ricd_metrics).
+	Namespace string
+	// TracePath, when set, writes the run's stage trace there as JSON at
+	// Finish (atomically: temp + fsync + rename).
+	TracePath string
+	// TraceTree prints the human-readable stage tree at Finish.
+	TraceTree bool
+	// AuditPath, when set, streams the explainable audit trail there as
+	// JSON Lines; the file is fsynced and closed by CloseAudit.
+	AuditPath string
+	// Runs prints the run ledger as JSON at Finish.
+	Runs bool
+	// DebugAddr, when set, serves the debug mux (pprof/expvar if the
+	// command imports them, plus /metrics and /debug/runs) on this
+	// address.
+	DebugAddr string
+	// LedgerSize bounds the run ledger (0 = DefaultLedgerSize).
+	LedgerSize int
+	// Mux is the debug mux to extend and serve; nil uses
+	// http.DefaultServeMux, where net/http/pprof and expvar register.
+	// Tests pass a private mux so repeated StartCLI calls cannot collide
+	// on process-global patterns.
+	Mux *http.ServeMux
+}
+
+// enabled reports whether any observability feature is requested; with
+// none, StartCLI returns a nil CLI whose methods are all no-ops, so
+// commands need no branching.
+func (c CLIConfig) enabled() bool {
+	return c.TracePath != "" || c.TraceTree || c.AuditPath != "" || c.Runs || c.DebugAddr != ""
+}
+
+// CLI is a command run's observability bundle: the observer to thread
+// through the pipeline plus the debug server and audit file lifecycles.
+// The nil *CLI is a valid no-op (observability off), mirroring the
+// package's nil-safe instruments.
+type CLI struct {
+	// Observer carries the trace, metrics, audit sink and run ledger; nil
+	// only on a nil CLI.
+	Observer *Observer
+
+	cfg       CLIConfig
+	srv       *http.Server
+	auditFile *os.File
+}
+
+// Obs returns the CLI's observer (nil for a nil CLI), the value commands
+// thread into detector configs.
+func (c *CLI) Obs() *Observer {
+	if c == nil {
+		return nil
+	}
+	return c.Observer
+}
+
+// StartCLI builds the run's observer per the config and starts the debug
+// server when DebugAddr is set. Callers must eventually run StopServer
+// and CloseAudit (in that order — CLIShutdownSteps pins it) on every exit
+// path; Finish emits the trace/tree/ledger artifacts.
+func StartCLI(cfg CLIConfig) (*CLI, error) {
+	if !cfg.enabled() {
+		return nil, nil
+	}
+	o := NewObserver(cfg.Namespace)
+	c := &CLI{Observer: o, cfg: cfg}
+	if cfg.AuditPath != "" {
+		f, err := os.Create(cfg.AuditPath)
+		if err != nil {
+			return nil, fmt.Errorf("-audit: %w", err)
+		}
+		c.auditFile = f
+		o.Events = NewEventSink(f, 0)
+	}
+	if cfg.Runs || cfg.DebugAddr != "" {
+		size := cfg.LedgerSize
+		if size <= 0 {
+			size = DefaultLedgerSize
+		}
+		o.Ledger = NewLedger(size)
+	}
+	if cfg.DebugAddr != "" {
+		mux := cfg.Mux
+		if mux == nil {
+			mux = http.DefaultServeMux
+		}
+		// expvar.Publish and mux registration both panic on reuse; the
+		// expvar name is guarded so a command embedding StartCLI into a
+		// retry loop cannot crash itself, while a pattern collision on a
+		// shared mux still fails loudly (it IS a programming error).
+		if expvar.Get(cfg.Namespace+"_metrics") == nil {
+			expvar.Publish(cfg.Namespace+"_metrics", expvar.Func(func() any { return o.Metrics.Map() }))
+		}
+		mux.Handle("/metrics", MetricsHandler(cfg.Namespace, o.Metrics))
+		mux.Handle("/debug/runs", RunsHandler(o.Ledger))
+		srv := &http.Server{Addr: cfg.DebugAddr, Handler: mux}
+		c.srv = srv
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/debug/pprof/, /debug/vars, /metrics, /debug/runs)\n", cfg.DebugAddr)
+	}
+	return c, nil
+}
+
+// CLIShutdownSteps returns a CLI's teardown in its one correct order:
+//
+//  1. stop the debug server — the process may stop looking alive, and
+//     metrics stayed scrapeable until everything that matters happened;
+//  2. close the audit sink — step 1 (and everything before it) remains
+//     in the audit trail.
+//
+// Closing audit first would lose the shutdown's own events; commands with
+// more state (cmd/stream's buffer flush and WAL close) splice their steps
+// BEFORE these two, keeping the same tail. TestCLIShutdownStepOrder pins
+// this order.
+func CLIShutdownSteps(stopServer, closeAudit func()) []func() {
+	return []func(){stopServer, closeAudit}
+}
+
+// Shutdown runs the pinned teardown (StopServer then CloseAudit). Safe on
+// nil and safe to call more than once.
+func (c *CLI) Shutdown() {
+	if c == nil {
+		return
+	}
+	for _, step := range CLIShutdownSteps(c.StopServer, c.CloseAudit) {
+		step()
+	}
+}
+
+// StopServer gracefully shuts down the debug server (no-op without one),
+// bounding the drain so a stuck debug client cannot hold the exit
+// hostage.
+func (c *CLI) StopServer() {
+	if c == nil || c.srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := c.srv.Shutdown(ctx); err != nil {
+		log.Printf("debug server shutdown: %v", err)
+	}
+	c.srv = nil
+}
+
+// Hold keeps the process alive (and the debug server scrapeable) for d,
+// or until ctx is cancelled (SIGINT). No-op without a debug server.
+func (c *CLI) Hold(ctx context.Context, d time.Duration) {
+	if c == nil || c.srv == nil || d <= 0 {
+		return
+	}
+	fmt.Printf("holding debug server for %v (interrupt to exit sooner)\n", d)
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// CloseAudit flushes and closes the audit file, fsyncing first so an
+// audit trail that claims to exist survives the machine failing right
+// after exit — the same durability discipline as the WAL. Surfaces any
+// write error the sink latched mid-run. Safe on nil and idempotent.
+func (c *CLI) CloseAudit() {
+	if c == nil || c.auditFile == nil {
+		return
+	}
+	f := c.auditFile
+	c.auditFile = nil
+	if c.Observer != nil && c.Observer.Events != nil {
+		if err := c.Observer.Events.Err(); err != nil {
+			log.Printf("-audit: %v", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		log.Printf("-audit: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("-audit: %v", err)
+	}
+}
+
+// Finish ends the trace and emits the requested artifacts: the trace JSON
+// (written atomically — temp + fsync + rename — so a crash mid-write can
+// never leave a torn half-JSON artifact), the human-readable stage tree,
+// and the run ledger. Safe on nil.
+func (c *CLI) Finish() {
+	if c == nil {
+		return
+	}
+	o := c.Observer
+	o.Trace.Finish()
+	if c.cfg.TracePath != "" {
+		data, err := o.Trace.JSON()
+		if err != nil {
+			log.Printf("-trace: %v", err)
+		} else if err := durable.WriteFileAtomic(c.cfg.TracePath, data, 0o644); err != nil {
+			log.Printf("-trace: %v", err)
+		} else {
+			fmt.Printf("stage trace written to %s\n", c.cfg.TracePath)
+		}
+	}
+	if c.cfg.TraceTree {
+		fmt.Print(o.Trace.Tree())
+	}
+	if c.cfg.Runs {
+		data, err := o.Ledger.JSON()
+		if err != nil {
+			log.Printf("-runs: %v", err)
+		} else {
+			fmt.Printf("run ledger:\n%s\n", data)
+		}
+	}
+}

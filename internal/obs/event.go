@@ -47,6 +47,13 @@ const (
 	// EventIngestShed is one pending-click drop by the overload buffer;
 	// Reason names the shed policy that fired.
 	EventIngestShed = "ingest.shed"
+	// EventIndexSwap is one atomic verdict-index publication by the serving
+	// layer: Round carries the new epoch, Groups/Users/Items the index
+	// contents, Reason is "partial" when the source report was cut short.
+	EventIndexSwap = "serve.swap"
+	// EventIndexSwapFail marks a failed publication (the previous epoch
+	// keeps serving); Reason carries the error.
+	EventIndexSwapFail = "serve.swap_fail"
 )
 
 // Event is one structured audit-trail record: a single pipeline decision

@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultMaxBatch bounds /v1/check request arrays: large enough for a full
+// recommendation page's candidate set many times over, small enough that
+// one request cannot monopolize the server.
+const DefaultMaxBatch = 4096
+
+// maxCheckBody bounds the /v1/check request body (1 MiB comfortably holds
+// DefaultMaxBatch entries).
+const maxCheckBody = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Obs, when non-nil, receives per-endpoint request counters
+	// (serve.req.<endpoint>), latency histograms (serve.latency.<endpoint>)
+	// and the serve.shed counter. Nil disables instrumentation at no cost.
+	Obs *obs.Observer
+	// MaxInflight bounds concurrently served requests; excess requests are
+	// shed with 429 (counted under serve.shed, never silent — the PR 6
+	// buffer's shed-accounting discipline applied to queries). 0 means
+	// unlimited. /healthz is exempt: health must answer under overload.
+	MaxInflight int
+	// MaxBatch bounds /v1/check array length (0 = DefaultMaxBatch).
+	MaxBatch int
+	// Degraded, when non-nil, feeds the /healthz degraded flag — wire the
+	// streaming detector's durability latch (DurabilityErr != nil) here.
+	Degraded func() bool
+}
+
+// Server answers verdict queries over HTTP/JSON from the store's current
+// index. Every request captures one immutable *Index and answers entirely
+// from it, so a response is always internally consistent — mid-swap reads
+// see the old epoch whole, post-swap reads the new epoch whole, never a
+// mix. Implements http.Handler.
+type Server struct {
+	store    *Store
+	o        *obs.Observer
+	inflight chan struct{}
+	maxBatch int
+	degraded func() bool
+}
+
+// NewServer returns a query server over store.
+func NewServer(store *Store, opts Options) *Server {
+	s := &Server{
+		store:    store,
+		o:        opts.Obs,
+		maxBatch: opts.MaxBatch,
+		degraded: opts.Degraded,
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
+	return s
+}
+
+// NodeResponse is the JSON verdict for one user or item.
+type NodeResponse struct {
+	Kind       string  `json:"kind"` // "user" or "item"
+	ID         uint32  `json:"id"`
+	Suspicious bool    `json:"suspicious"`
+	Score      float64 `json:"score"`
+	Groups     []int   `json:"groups,omitempty"`
+	Epoch      uint64  `json:"epoch"`
+}
+
+// PairResponse is the JSON verdict for one user-item co-click.
+type PairResponse struct {
+	User    uint32 `json:"user"`
+	Item    uint32 `json:"item"`
+	InGroup bool   `json:"in_group"`
+	Groups  []int  `json:"groups,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// GroupResponse is the JSON rendering of one detected group.
+type GroupResponse struct {
+	Group          int      `json:"group"`
+	Users          []uint32 `json:"users"`
+	Items          []uint32 `json:"items"`
+	Score          float64  `json:"score"`
+	Density        float64  `json:"density"`
+	MeanEdgeClicks float64  `json:"mean_edge_clicks"`
+	OutsideShare   float64  `json:"outside_share"`
+	Epoch          uint64   `json:"epoch"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	// Status is "serving" once an index is published, "empty" before the
+	// first publication, "degraded" when the durability latch fired.
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+	Groups int    `json:"groups"`
+	// AgeMS is the staleness of the served verdicts: milliseconds since
+	// the current index was published (-1 while empty).
+	AgeMS    int64 `json:"age_ms"`
+	Partial  bool  `json:"partial,omitempty"`
+	Degraded bool  `json:"degraded"`
+}
+
+// CheckItem is one entry of a /v1/check batch request.
+type CheckItem struct {
+	Kind string  `json:"kind"` // "user", "item" or "pair"
+	ID   *uint32 `json:"id,omitempty"`
+	User *uint32 `json:"user,omitempty"`
+	Item *uint32 `json:"item,omitempty"`
+}
+
+// errorResponse is the structured body of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ServeHTTP routes the five query endpoints plus /healthz. Routing is
+// hand-rolled (not http.ServeMux patterns) so every error path — unknown
+// route, bad method, malformed ID, shed — returns the same structured
+// JSON error shape.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if path == "/healthz" {
+		// Health is exempt from shedding: an overloaded server must still
+		// tell its load balancer it is alive.
+		s.instrument("healthz", w, r, s.handleHealth)
+		return
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.o.Counter("serve.shed").Inc()
+			writeError(w, http.StatusTooManyRequests, "server at max in-flight requests")
+			return
+		}
+	}
+	switch {
+	case strings.HasPrefix(path, "/v1/user/"):
+		s.instrument("user", w, r, func(w http.ResponseWriter, r *http.Request) {
+			s.handleNode(w, r, "user", strings.TrimPrefix(path, "/v1/user/"))
+		})
+	case strings.HasPrefix(path, "/v1/item/"):
+		s.instrument("item", w, r, func(w http.ResponseWriter, r *http.Request) {
+			s.handleNode(w, r, "item", strings.TrimPrefix(path, "/v1/item/"))
+		})
+	case strings.HasPrefix(path, "/v1/group/"):
+		s.instrument("group", w, r, func(w http.ResponseWriter, r *http.Request) {
+			s.handleGroup(w, r, strings.TrimPrefix(path, "/v1/group/"))
+		})
+	case path == "/v1/pair":
+		s.instrument("pair", w, r, s.handlePair)
+	case path == "/v1/check":
+		s.instrument("check", w, r, s.handleCheck)
+	default:
+		writeError(w, http.StatusNotFound, "unknown route (endpoints: /v1/user/{id}, /v1/item/{id}, /v1/pair?u=&i=, /v1/group/{id}, /v1/check, /healthz)")
+	}
+}
+
+// instrument counts the request and observes its latency under the
+// endpoint's name.
+func (s *Server) instrument(name string, w http.ResponseWriter, r *http.Request,
+	h func(http.ResponseWriter, *http.Request)) {
+
+	s.o.Counter("serve.req." + name).Inc()
+	t0 := time.Now()
+	h(w, r)
+	s.o.Histogram("serve.latency." + name).Observe(time.Since(t0))
+}
+
+// index returns the current index, or writes 503 and returns nil when no
+// detection outcome has been published yet (serving "everything is clean"
+// before the first sweep would be a silent false negative; consumers
+// choose their own fail-open/fail-closed policy on 503).
+func (s *Server) index(w http.ResponseWriter) *Index {
+	ix := s.store.Current()
+	if ix == nil {
+		writeError(w, http.StatusServiceUnavailable, "no verdict index published yet")
+		return nil
+	}
+	return ix
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed (want GET)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request, kind, rawID string) {
+	if !requireGet(w, r) {
+		return
+	}
+	id, err := parseID(rawID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s id %q: %v", kind, rawID, err))
+		return
+	}
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	writeJSON(w, nodeResponse(ix, kind, id))
+}
+
+func nodeResponse(ix *Index, kind string, id uint32) NodeResponse {
+	var v NodeVerdict
+	if kind == "user" {
+		v = ix.User(id)
+	} else {
+		v = ix.Item(id)
+	}
+	return NodeResponse{
+		Kind:       kind,
+		ID:         id,
+		Suspicious: v.Suspicious,
+		Score:      v.Score,
+		Groups:     v.Groups,
+		Epoch:      ix.Epoch(),
+	}
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	q := r.URL.Query()
+	u, err := parseID(q.Get("u"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad query param u=%q: %v", q.Get("u"), err))
+		return
+	}
+	i, err := parseID(q.Get("i"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad query param i=%q: %v", q.Get("i"), err))
+		return
+	}
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	writeJSON(w, pairResponse(ix, u, i))
+}
+
+func pairResponse(ix *Index, u, i uint32) PairResponse {
+	v := ix.Pair(u, i)
+	return PairResponse{User: u, Item: i, InGroup: v.InGroup, Groups: v.Groups, Epoch: ix.Epoch()}
+}
+
+func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request, rawID string) {
+	if !requireGet(w, r) {
+		return
+	}
+	n, err := strconv.Atoi(rawID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad group index %q: %v", rawID, err))
+		return
+	}
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	g, ok := ix.Group(n)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("group %d not found (index has %d groups)", n, ix.NumGroups()))
+		return
+	}
+	writeJSON(w, GroupResponse{
+		Group:          n,
+		Users:          g.Users,
+		Items:          g.Items,
+		Score:          g.Score,
+		Density:        g.Density,
+		MeanEdgeClicks: g.MeanEdgeClicks,
+		OutsideShare:   g.OutsideShare,
+		Epoch:          ix.Epoch(),
+	})
+}
+
+// handleCheck answers a batch of verdict questions in one round trip. All
+// entries are answered from ONE captured index, so a batch is internally
+// consistent even if a swap lands mid-request.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed (want POST)")
+		return
+	}
+	var items []CheckItem
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCheckBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&items); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body over %d bytes", maxErr.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(items) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d entries over the %d limit", len(items), s.maxBatch))
+		return
+	}
+	for k, it := range items {
+		switch it.Kind {
+		case "user", "item":
+			if it.ID == nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("entry %d: kind %q needs \"id\"", k, it.Kind))
+				return
+			}
+		case "pair":
+			if it.User == nil || it.Item == nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("entry %d: kind \"pair\" needs \"user\" and \"item\"", k))
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("entry %d: unknown kind %q (want user, item or pair)", k, it.Kind))
+			return
+		}
+	}
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	out := make([]any, len(items))
+	for k, it := range items {
+		switch it.Kind {
+		case "user", "item":
+			out[k] = nodeResponse(ix, it.Kind, *it.ID)
+		case "pair":
+			out[k] = pairResponse(ix, *it.User, *it.Item)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	ix := s.store.Current()
+	h := HealthResponse{Status: "serving", AgeMS: -1}
+	if ix == nil {
+		h.Status = "empty"
+	} else {
+		h.Epoch = ix.Epoch()
+		h.Groups = ix.NumGroups()
+		h.AgeMS = time.Since(ix.At()).Milliseconds()
+		h.Partial = ix.Partial()
+	}
+	if s.degraded != nil && s.degraded() {
+		h.Degraded = true
+		h.Status = "degraded"
+	}
+	writeJSON(w, h)
+}
+
+// parseID parses a decimal uint32 node ID.
+func parseID(s string) (uint32, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, errors.Unwrap(err) // strip the "strconv.ParseUint" prefix noise
+	}
+	return uint32(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	data, _ := json.Marshal(errorResponse{Error: msg})
+	w.Write(append(data, '\n'))
+}

@@ -52,6 +52,16 @@ type Detector struct {
 	// nothing.
 	Obs *obs.Observer
 
+	// OnCommit, when non-nil, is invoked after every COMMITTED sweep with
+	// the sweep's result and the immutable graph it examined — the
+	// sweep-completion hook the serving layer uses to compile and publish
+	// a fresh verdict index (serve.Compile + Store.Publish). It runs on
+	// the sweeping goroutine, outside the detector's lock, so ingestion
+	// proceeds while it executes; aborted (partial) sweeps never fire it,
+	// so consumers only ever see fully committed verdicts. Set it before
+	// the first sweep and do not mutate it afterwards.
+	OnCommit func(res *detect.Result, g *bipartite.Graph)
+
 	// mu guards all mutable state below. Detect holds it only while taking
 	// its snapshot and while committing a completed sweep, never during the
 	// detection work itself, so ingestion stalls for microseconds, not for
@@ -544,6 +554,11 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 			})
 		}
 		sink.Emit(obs.Event{Type: obs.EventSweepCommit, Reason: sweepType, Groups: len(groups)})
+	}
+	if d.OnCommit != nil {
+		// g is the immutable snapshot this sweep examined (mid-sweep clicks
+		// rebuilt a fresh graph), so the hook reads consistent state.
+		d.OnCommit(res, g)
 	}
 	if snapDue {
 		// Automatic snapshot at the sweep boundary — the only point where

@@ -64,6 +64,7 @@ type StreamRecovery struct {
 type StreamDetector struct {
 	inner    *stream.Detector
 	obs      *obs.Observer
+	serve    *VerdictStore
 	recovery *StreamRecovery
 }
 
@@ -98,7 +99,7 @@ func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
 	inner.Obs = auditObserver(cfg)
-	return &StreamDetector{inner: inner, obs: cfg.Observer}, nil
+	return &StreamDetector{inner: inner, obs: cfg.Observer, serve: cfg.Serve}, nil
 }
 
 // openDurableStreamDetector is NewStreamDetector's durable path.
@@ -130,6 +131,7 @@ func openDurableStreamDetector(initial *Graph, cfg Config) (*StreamDetector, err
 	return &StreamDetector{
 		inner: inner,
 		obs:   cfg.Observer,
+		serve: cfg.Serve,
 		recovery: &StreamRecovery{
 			ColdStart:       info.ColdStart,
 			SnapshotClock:   info.SnapshotClock,
@@ -199,10 +201,16 @@ func (s *StreamDetector) FullSweepContext(ctx context.Context) (*Report, error) 
 }
 
 // finish applies the facade's graceful-degradation contract to a sweep
-// outcome (see finishReport).
+// outcome (see finishReport) and, with Config.Serve set, publishes every
+// committed sweep's verdicts as a fresh index epoch — the online serving
+// path. Aborted sweeps publish nothing: the previous epoch keeps serving.
 func (s *StreamDetector) finish(res *detect.Result, err error) (*Report, error) {
 	if err == nil {
-		return s.report(res), nil
+		rep := s.report(res)
+		if s.serve != nil {
+			_ = s.serve.Publish(rep.Index())
+		}
+		return rep, nil
 	}
 	if res == nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
