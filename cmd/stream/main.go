@@ -8,6 +8,7 @@
 //	synthgen -out clicks.csv -labels labels.csv -events events.csv
 //	stream -events events.csv [-thot 1000] [-tclick 12] [-labels labels.csv]
 //	       [-wal-dir state/] [-snapshot-every 5000] [-fsync]
+//	       [-no-delta] [-compact-fraction 0.5]
 //	       [-buffer 4096] [-shed-policy block|oldest|newest]
 //	       [-serve-addr :8080] [-serve-inflight 256]
 //	       [-timeout 1m] [-trace out.json] [-trace-tree] [-audit out.jsonl]
@@ -32,6 +33,13 @@
 // optional: omitting it recovers the persisted state and runs one sweep
 // over it. -fsync makes appends survive power loss, not just process
 // death.
+//
+// Per-sweep graph preparation is delta-maintained by default: each sweep
+// patches only the clicks since the last sweep onto the previous graph,
+// compacting with a full rebuild once the pending tail exceeds
+// -compact-fraction of the aggregated base. -no-delta pins the historical
+// rebuild-from-full-history path; output is byte-identical either way, so
+// the flag is the equivalence oracle (and escape hatch), like -no-frontier.
 //
 // -buffer inserts a bounded pending-click queue between the reader and
 // the detector; when it fills, -shed-policy decides between backpressure
@@ -111,6 +119,8 @@ func run() int {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole replay; on expiry the exit status is 2")
 		workers    = flag.Int("workers", 0, "worker goroutines for the sharded sweep pipeline (0 = GOMAXPROCS)")
 		noFront    = flag.Bool("no-frontier", false, "rescan every live vertex each pruning round instead of the dirty frontier (identical output)")
+		noDelta    = flag.Bool("no-delta", false, "rebuild the sweep graph from the full click history instead of patching the delta (identical output)")
+		compactFr  = flag.Float64("compact-fraction", 0, "full-rebuild compaction once pending clicks exceed this fraction of the aggregated base (0 = default 0.5)")
 	)
 	flag.Parse()
 	if *eventsPath == "" && *walDir == "" {
@@ -208,6 +218,10 @@ func run() int {
 		cli.Shutdown()
 		return 1
 	}
+	// Graph-maintenance policy, before the first sweep (the detector pins
+	// both at first use).
+	det.NoDelta = *noDelta
+	det.CompactFraction = *compactFr
 
 	// Online verdict serving: every committed sweep compiles the sweep's
 	// result into an immutable index and publishes it under a new epoch;

@@ -164,7 +164,7 @@ func TestSIGTERMFlushesAndClosesWAL(t *testing.T) {
 	if info.Replayed != 0 {
 		t.Fatalf("replayed %d WAL records past the shutdown snapshot, want 0", info.Replayed)
 	}
-	if got := det.PendingEvents(); got != len(events) {
+	if got := det.Events(); got != len(events) {
 		t.Fatalf("recovered %d events, want all %d (buffer not flushed before WAL close)", got, len(events))
 	}
 }

@@ -132,6 +132,20 @@ type Config struct {
 	// rescan loop byte-for-byte); NoFrontier exists as the oracle switch
 	// for that validation and for debugging, mirroring Serial.
 	NoFrontier bool
+	// NoDelta makes a StreamDetector rebuild its sweep graph from the full
+	// click history on every sweep instead of patching only the clicks since
+	// the last build onto the previous graph. Output is byte-identical
+	// either way (the patch path is validated against the rebuild path
+	// graph-for-graph and group-for-group); NoDelta exists as the oracle
+	// switch for that validation, mirroring Serial and NoFrontier. Batch
+	// Detect ignores it.
+	NoDelta bool
+	// CompactFraction tunes a StreamDetector's delta-maintenance compaction
+	// policy: once the raw clicks pending since the last compaction exceed
+	// this fraction of the aggregated base table, the next graph build folds
+	// them in with a full rebuild instead of patching. 0 means the default
+	// (0.5); ignored under NoDelta. Batch Detect ignores it.
+	CompactFraction float64
 	// Observer, when non-nil, receives the run's stage trace (per-phase
 	// spans mirroring the paper's Fig 8b split) and pipeline metrics; the
 	// trace is echoed on Report.Trace. Construct one with

@@ -1,0 +1,162 @@
+package clicktable
+
+import "sort"
+
+// Staged is a click table split into an aggregated base and a pending tail,
+// the table-side half of delta-maintained graph builds: the base stays
+// sorted and duplicate-free while fresh rows accumulate in the pending
+// tail, so the owner can ask for just the rows that arrived since its last
+// build (Delta) instead of re-aggregating the full history, and fold the
+// tail into the base only at compaction time (Compact).
+//
+// The owner tracks which prefix of the pending tail its derived state
+// (e.g. a patched bipartite graph) already reflects via MarkPatched; rows
+// beyond that watermark are the current delta.
+//
+// Staged is not safe for concurrent use; the owner serializes access.
+type Staged struct {
+	base    *Table // aggregated: sorted by (user, item), unique pairs
+	pending *Table // raw rows appended since the last Compact
+	patched int    // pending rows [0, patched) already applied by the owner
+}
+
+// NewStaged returns a staged table whose pending tail starts as initial
+// (nil or empty starts empty). Ownership of initial transfers to the
+// Staged; callers that keep using the table must pass initial.Clone().
+// Everything starts in the pending tail, so the owner's first build sees
+// the whole history as delta — a full build.
+func NewStaged(initial *Table) *Staged {
+	if initial == nil {
+		initial = New(0)
+	}
+	return &Staged{base: New(0), pending: initial}
+}
+
+// Append adds a row to the pending tail. Zero-click rows are dropped,
+// matching Table.Append.
+func (s *Staged) Append(user, item, clicks uint32) {
+	s.pending.Append(user, item, clicks)
+}
+
+// AppendRecord adds a row from a Record value.
+func (s *Staged) AppendRecord(r Record) { s.pending.AppendRecord(r) }
+
+// Len returns the total number of rows: aggregated base plus raw pending.
+func (s *Staged) Len() int { return s.base.Len() + s.pending.Len() }
+
+// BaseLen returns the number of aggregated base rows (distinct (user, item)
+// pairs as of the last Compact).
+func (s *Staged) BaseLen() int { return s.base.Len() }
+
+// PendingLen returns the number of raw rows appended since the last
+// Compact, patched or not — the growth the compaction policy measures
+// against the base.
+func (s *Staged) PendingLen() int { return s.pending.Len() }
+
+// DeltaLen returns the number of raw pending rows not yet covered by
+// MarkPatched: the work outstanding for the owner's next build.
+func (s *Staged) DeltaLen() int { return s.pending.Len() - s.patched }
+
+// Base returns the aggregated base table. The caller must not mutate it.
+func (s *Staged) Base() *Table { return s.base }
+
+// Each calls fn for every row — base rows in (user, item) order, then
+// pending rows in arrival order — stopping early if fn returns false. The
+// iteration order is deterministic, which the durability layer relies on
+// when serializing snapshots.
+func (s *Staged) Each(fn func(Record) bool) {
+	stopped := false
+	s.base.Each(func(r Record) bool {
+		if !fn(r) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	s.pending.Each(fn)
+}
+
+// Delta is the aggregate view of the unpatched pending rows: the records
+// merged and sorted the same way Table.Aggregate sorts them, plus the
+// distinct user and item IDs they touch (ascending) — exactly what a graph
+// patcher needs to know which rows and columns to rewrite.
+type Delta struct {
+	Records *Table
+	Users   []uint32
+	Items   []uint32
+}
+
+// Delta aggregates the pending rows beyond the patched watermark. The
+// receiver is unchanged; call MarkPatched once the returned delta has been
+// applied.
+func (s *Staged) Delta() Delta {
+	tail := New(s.DeltaLen())
+	for i := s.patched; i < s.pending.Len(); i++ {
+		tail.AppendRecord(s.pending.Row(i))
+	}
+	agg := tail.Aggregate()
+	d := Delta{Records: agg}
+	var lastU, lastV uint32
+	agg.Each(func(r Record) bool {
+		if len(d.Users) == 0 || r.UserID != lastU {
+			d.Users = append(d.Users, r.UserID)
+			lastU = r.UserID
+		}
+		if len(d.Items) == 0 || r.ItemID != lastV {
+			d.Items = append(d.Items, r.ItemID)
+			lastV = r.ItemID
+		}
+		return true
+	})
+	// Records are sorted by (user, item): users fall out deduplicated and
+	// ascending, items deduplicated but in first-seen order — sort them.
+	sort.Slice(d.Items, func(i, j int) bool { return d.Items[i] < d.Items[j] })
+	d.Items = dedupSorted(d.Items)
+	return d
+}
+
+func dedupSorted(ids []uint32) []uint32 {
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MarkPatched records that every current pending row has been applied to
+// the owner's derived state; subsequent Delta calls cover only rows
+// appended after this point.
+func (s *Staged) MarkPatched() { s.patched = s.pending.Len() }
+
+// Compact folds the pending tail into the base: the concatenation is fully
+// re-aggregated (the same sort+merge a from-scratch build pays, which is
+// what keeps compaction cost identical to the historical full-rebuild
+// path), the tail empties, and the patched watermark resets. With an empty
+// tail the base's aggregated invariant makes this free (Aggregate's fast
+// path).
+func (s *Staged) Compact() {
+	if s.pending.Len() == 0 {
+		s.base = s.base.Aggregate()
+		return
+	}
+	all := s.base.Clone()
+	s.pending.Each(func(r Record) bool {
+		all.AppendRecord(r)
+		return true
+	})
+	s.base = all.Aggregate()
+	s.pending = New(0)
+	s.patched = 0
+}
+
+// Clone returns a deep copy sharing nothing with the receiver, including
+// the patched watermark — the durability layer snapshots staged tables this
+// way under the ingest lock.
+func (s *Staged) Clone() *Staged {
+	return &Staged{base: s.base.Clone(), pending: s.pending.Clone(), patched: s.patched}
+}

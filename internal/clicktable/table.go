@@ -80,8 +80,16 @@ func (t *Table) Clone() *Table {
 }
 
 // Aggregate merges duplicate (user, item) rows by summing clicks, returning
-// a new table sorted by (user, item). The receiver is unchanged.
+// a table sorted by (user, item). The receiver is unchanged. Click sums
+// saturate at MaxUint32 rather than wrapping.
+//
+// An already-aggregated table (strictly increasing (user, item) rows) is
+// returned as-is — no sort, no copy — so Aggregate is idempotent and free
+// to call defensively: Aggregate(Aggregate(t)) returns the same *Table.
 func (t *Table) Aggregate() *Table {
+	if t.aggregated() {
+		return t
+	}
 	idx := make([]int, t.Len())
 	for i := range idx {
 		idx[i] = i
@@ -109,6 +117,21 @@ func (t *Table) Aggregate() *Table {
 		p = q
 	}
 	return out
+}
+
+// aggregated reports whether the rows are strictly increasing by
+// (user, item) — the invariant Aggregate's output satisfies: sorted with no
+// duplicate pairs (zero-click rows can never be appended).
+func (t *Table) aggregated() bool {
+	for i := 1; i < len(t.users); i++ {
+		if t.users[i] < t.users[i-1] {
+			return false
+		}
+		if t.users[i] == t.users[i-1] && t.items[i] <= t.items[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // Scale summarizes the table the way the paper's Table I does.

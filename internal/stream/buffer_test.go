@@ -26,7 +26,7 @@ func TestBufferDeliversEverythingUnderCapacity(t *testing.T) {
 	if err := b.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if got := d.PendingEvents(); got != 50 {
+	if got := d.Events(); got != 50 {
 		t.Fatalf("detector saw %d events, want 50", got)
 	}
 	accepted, shed := b.Stats()
@@ -134,7 +134,7 @@ func TestBufferShedBlockTimesOutThenUnblocks(t *testing.T) {
 	if err := b.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if got := d.PendingEvents(); got != 3 {
+	if got := d.Events(); got != 3 {
 		t.Fatalf("detector saw %d events, want 3 (click 3 was shed)", got)
 	}
 }

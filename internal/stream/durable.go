@@ -296,7 +296,6 @@ func (d *Detector) applyRecord(seq uint64, payload []byte) error {
 		d.seq = seq
 		d.table.Append(user, item, clicks)
 		d.dirty[user] = seq
-		d.graph = nil
 		d.events++
 	case recSweep:
 		startSeq, groups, err := decodeSweepRecord(payload)
@@ -389,8 +388,14 @@ func appendGroups(b []byte, groups []detect.Group) []byte {
 //	groups (same layout as sweep records)
 //
 // The snapshot container (durable.WriteSnapshot) adds the clock, version
-// and checksum around this.
-func encodeState(table *clicktable.Table, dirty map[bipartite.NodeID]uint64, cached []detect.Group, events, detections int, lastFull bool) []byte {
+// and checksum around this. The staged table flattens to plain rows
+// (aggregated base first, then the raw pending tail): the base/pending
+// split is a build-cost optimization, not state — a recovered detector
+// reloads everything as pending, so its first graph build is a full
+// rebuild whose aggregate equals the live detector's patched graph
+// (bipartite.PatchGraph's byte-identity contract), preserving the
+// recovery-equivalence guarantee.
+func encodeState(table *clicktable.Staged, dirty map[bipartite.NodeID]uint64, cached []detect.Group, events, detections int, lastFull bool) []byte {
 	b := make([]byte, 0, 17+12*table.Len()+12*len(dirty))
 	b = binary.LittleEndian.AppendUint32(b, stateVersion)
 	b = binary.LittleEndian.AppendUint64(b, uint64(events))
@@ -450,7 +455,9 @@ func (d *Detector) decodeState(p []byte, clock uint64) error {
 	d.events = int(events)
 	d.detections = int(detections)
 	d.lastFull = lastFull
-	d.table = table
+	// All recovered rows land in the pending tail (see encodeState): the
+	// first build after recovery re-aggregates the full history.
+	d.table = clicktable.NewStaged(table)
 	d.graph = nil
 	d.dirty = dirty
 	d.cached = groups

@@ -86,11 +86,14 @@ func TestRecoveryEquivalenceGoldenWorkloads(t *testing.T) {
 			return true
 		})
 
-		// Oracle: never crashes, never persists.
+		// Oracle: never crashes, never persists — and pins the full-rebuild
+		// graph path, so recovered delta-patched sweeps are compared against
+		// pure from-scratch rebuilds.
 		oracle, err := New(nil, smallParams())
 		if err != nil {
 			t.Fatal(err)
 		}
+		oracle.NoDelta = true
 		oracle.AddBatch(bg)
 		r1 := mustSweep(t, oracle)
 		oracle.AddBatch(phaseA)
@@ -130,7 +133,7 @@ func TestRecoveryEquivalenceGoldenWorkloads(t *testing.T) {
 				d2.AddBatch(phaseB)
 			}
 			sameGroups(t, crashPoint+"/sweep3", r3, mustSweep(t, d2))
-			if got, want := d2.PendingEvents(), oracle.PendingEvents(); got != want {
+			if got, want := d2.Events(), oracle.Events(); got != want {
 				t.Fatalf("seed %d/%s: recovered events=%d oracle=%d", cfg.Seed, crashPoint, got, want)
 			}
 			if got, want := d2.Detections(), oracle.Detections(); got != want {

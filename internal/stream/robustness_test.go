@@ -112,8 +112,8 @@ func TestConcurrentIngestAndSweep(t *testing.T) {
 	if len(res.Groups) == 0 {
 		t.Error("no groups found after concurrent ingestion of the attack records")
 	}
-	if d.PendingEvents() != len(attack) {
-		t.Errorf("PendingEvents = %d, want %d", d.PendingEvents(), len(attack))
+	if d.Events() != len(attack) {
+		t.Errorf("Events = %d, want %d", d.Events(), len(attack))
 	}
 }
 

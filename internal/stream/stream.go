@@ -45,6 +45,22 @@ type Detector struct {
 	// core.GraphGeneratorBounded). Zero falls back to DefaultExpandCap.
 	ExpandDegreeCap int
 
+	// NoDelta pins the historical full-rebuild graph path: every sweep
+	// re-aggregates the whole click history and rebuilds the graph from
+	// scratch instead of patching the delta onto the previous build. Output
+	// is byte-identical either way — the flag exists as the equivalence
+	// oracle (stream CLI -no-delta) and as an escape hatch, mirroring
+	// core.Params.NoFrontier. Set before first use; do not flip afterwards.
+	NoDelta bool
+
+	// CompactFraction is the delta-maintenance compaction policy: when the
+	// raw rows accumulated since the last compaction exceed this fraction
+	// of the aggregated base table, the next graph build folds them in with
+	// a full rebuild instead of patching (amortizing the pending tail away).
+	// Zero means DefaultCompactFraction; ignored under NoDelta. Set before
+	// first use; do not change afterwards.
+	CompactFraction float64
+
 	// Obs, when non-nil, records every Detect as a stream.sweep span
 	// (sweep type, dirty-user scope, seed count, sweep-local graph size)
 	// and feeds stream.* metrics, including separate full/incremental
@@ -67,8 +83,13 @@ type Detector struct {
 	// detection work itself, so ingestion stalls for microseconds, not for
 	// a whole sweep.
 	mu    sync.Mutex
-	table *clicktable.Table
-	graph *bipartite.Graph // nil when table has pending rows
+	table *clicktable.Staged
+	// graph is the last built click graph: nil before the first build,
+	// stale while table.DeltaLen() > 0. Builds after the first patch the
+	// delta onto the previous graph (bipartite.PatchGraph) unless the
+	// compaction policy or NoDelta forces a full rebuild; either way the
+	// result is byte-identical to rebuilding from the full history.
+	graph *bipartite.Graph
 	// dirty maps each user touched since the last committed sweep to the
 	// record-clock value (seq) of their newest click. The seq lets sweep
 	// commits — live or WAL-replayed — retire exactly the users whose
@@ -108,7 +129,24 @@ type Detector struct {
 	// moment at the start of each sweep, the operational "how stale is
 	// detection" signal.
 	lastSweepEnd time.Time
+
+	// Steady-state scratch buffers, reused across sweeps and batches so
+	// the hot ingest/sweep loop stops allocating once warm. All are only
+	// touched under mu except seedScratch, which a sweep takes ownership
+	// of (swapped to nil under mu) and returns at commit/abort.
+	seedScratch []bipartite.NodeID
+	deltaEdges  []bipartite.Edge
+	walEnds     []int
+	walEntries  []durable.Entry
 }
+
+// DefaultCompactFraction is the default compaction policy: a full rebuild
+// once the raw pending rows exceed half the aggregated base. Patch cost is
+// linear in the delta while rebuild cost is sort-dominated over the whole
+// history, so by the time the delta is a constant fraction of the base a
+// rebuild costs only a small multiple of the patch — compacting there
+// bounds both the pending tail's memory and the patch chain's length.
+const DefaultCompactFraction = 0.5
 
 // DefaultExpandCap is the default item-degree traversal bound for
 // dirty-region expansion: generous relative to plausible attack-group head
@@ -125,14 +163,11 @@ func New(initial *clicktable.Table, params core.Params) (*Detector, error) {
 	}
 	d := &Detector{
 		params: params,
-		table:  clicktable.New(0),
+		table:  clicktable.NewStaged(nil),
 		dirty:  map[bipartite.NodeID]uint64{},
 	}
 	if initial != nil {
-		initial.Each(func(r clicktable.Record) bool {
-			d.table.AppendRecord(r)
-			return true
-		})
+		d.table = clicktable.NewStaged(initial.Clone())
 	}
 	d.lastFull = false
 	return d, nil
@@ -162,7 +197,6 @@ func (d *Detector) AddClick(user, item uint32, clicks uint32) {
 	}
 	d.table.Append(user, item, clicks)
 	d.dirty[user] = d.seq
-	d.graph = nil
 	d.events++
 	n := len(d.dirty)
 	d.mu.Unlock()
@@ -189,7 +223,7 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 		// under SyncAlways): records are encoded back to back into walBuf,
 		// then sliced per entry once the buffer has stopped growing.
 		d.walBuf = d.walBuf[:0]
-		var ends []int
+		ends := d.walEnds[:0]
 		for _, r := range records {
 			if r.Clicks == 0 {
 				continue
@@ -197,12 +231,16 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 			d.walBuf = appendClickRecord(d.walBuf, r.UserID, r.ItemID, r.Clicks)
 			ends = append(ends, len(d.walBuf))
 		}
-		entries := make([]durable.Entry, len(ends))
+		// entries reuses detector-owned scratch: AppendAll frames the batch
+		// into its own buffer before returning, so neither the slice nor the
+		// walBuf-aliasing payloads are retained.
+		entries := d.walEntries[:0]
 		prev := 0
 		for i, end := range ends {
-			entries[i] = durable.Entry{Seq: d.seq + uint64(i) + 1, Payload: d.walBuf[prev:end]}
+			entries = append(entries, durable.Entry{Seq: d.seq + uint64(i) + 1, Payload: d.walBuf[prev:end]})
 			prev = end
 		}
+		d.walEnds, d.walEntries = ends, entries
 		faultinject.Hit("stream.wal.append")
 		if err := d.wal.AppendAll(entries); err != nil {
 			d.degradeLocked(err)
@@ -224,9 +262,6 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 		n++
 		clicks += int64(r.Clicks)
 	}
-	if n > 0 {
-		d.graph = nil
-	}
 	dirty := len(d.dirty)
 	d.mu.Unlock()
 	d.Obs.Counter("stream.events").Add(int64(n))
@@ -237,29 +272,80 @@ func (d *Detector) AddBatch(records []clicktable.Record) {
 	}
 }
 
-// PendingEvents returns the number of click events streamed since creation.
-func (d *Detector) PendingEvents() int {
+// Events returns the total number of click events streamed since the
+// detector was created (or, for a durable detector, since its very first
+// incarnation — the count survives recovery). It never decreases: sweeps
+// consume the dirty region, not this counter. Zero-click events are not
+// counted, matching AddClick/AddBatch dropping them.
+//
+// This method was previously named PendingEvents, whose name wrongly
+// suggested events-since-last-sweep while both the doc comment and every
+// caller meant the lifetime total; see TestEventsCountsLifetimeTotal.
+func (d *Detector) Events() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.events
 }
 
-// Graph returns the current aggregated click graph, rebuilding it if the
-// stream advanced. The returned graph must not be mutated; once built it is
-// never modified by the detector (new clicks cause a fresh build), so it
-// stays safe to read concurrently with ingestion.
+// Graph returns the current aggregated click graph, bringing it up to date
+// if the stream advanced: the clicks since the last build are patched onto
+// the previous graph in O(delta) (or the graph is rebuilt from scratch
+// when the compaction policy or NoDelta says so — the output is identical
+// either way). The returned graph must not be mutated; once built it is
+// never modified by the detector (new clicks produce a fresh Graph value),
+// so it stays safe to read concurrently with ingestion.
 func (d *Detector) Graph() *bipartite.Graph {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.graphLocked()
 }
 
-// graphLocked rebuilds the aggregated graph if needed; d.mu must be held.
+// graphLocked brings the aggregated graph up to date; d.mu must be held.
+//
+// This is the delta-maintenance core: between compactions the graph — not
+// the table — is the aggregated source of truth. Fresh clicks accumulate
+// as a raw pending tail; a build patches just that tail's aggregate onto
+// the previous graph (copy-on-write on touched rows/columns), which costs
+// O(clicks since last build) instead of O(total history). When the tail
+// outgrows CompactFraction of the base — or under NoDelta, always — the
+// build compacts: the full history is re-aggregated and the graph rebuilt
+// from scratch, exactly the historical path. bipartite.PatchGraph's
+// byte-identity contract (tested by FuzzGraphPatch and the delta/no-delta
+// golden harness) makes the two paths indistinguishable to every consumer.
 func (d *Detector) graphLocked() *bipartite.Graph {
-	if d.graph == nil {
-		d.table = d.table.Aggregate()
-		d.graph = d.table.ToGraph()
+	if d.graph != nil && d.table.DeltaLen() == 0 {
+		return d.graph
 	}
+	sp := d.Obs.Root().Start("stream.graph")
+	faultinject.Hit("stream.graph")
+	deltaRows := d.table.DeltaLen()
+	frac := d.CompactFraction
+	if frac <= 0 {
+		frac = DefaultCompactFraction
+	}
+	patch := !d.NoDelta && d.graph != nil &&
+		float64(d.table.PendingLen()) <= frac*float64(d.table.BaseLen())
+	if patch {
+		delta := d.table.Delta()
+		edges := d.deltaEdges[:0]
+		delta.Records.Each(func(r clicktable.Record) bool {
+			edges = append(edges, bipartite.Edge{U: r.UserID, V: r.ItemID, Weight: r.Clicks})
+			return true
+		})
+		d.deltaEdges = edges
+		d.graph = bipartite.PatchGraph(d.graph, edges)
+		d.table.MarkPatched()
+		sp.Set("mode", "patch")
+		d.Obs.Counter("stream.graph.patch").Inc()
+	} else {
+		d.table.Compact()
+		d.graph = d.table.Base().ToGraph()
+		sp.Set("mode", "rebuild")
+		d.Obs.Counter("stream.graph.rebuild").Inc()
+	}
+	d.Obs.Counter("stream.graph.delta_rows").Add(int64(deltaRows))
+	sp.SetInt("delta_rows", int64(deltaRows))
+	sp.End()
 	return d.graph
 }
 
@@ -329,7 +415,12 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	// the same users.
 	d.inflight = snap
 	startSeq := d.seq
-	dirty := make([]bipartite.NodeID, 0, len(snap))
+	// The seed slice is detector-owned scratch: this sweep takes ownership
+	// (a hypothetical concurrent sweep would just allocate fresh) and
+	// returns it at commit/abort, so steady-state sweeps reuse one backing
+	// array instead of allocating per sweep.
+	dirty := d.seedScratch[:0]
+	d.seedScratch = nil
 	for u := range snap {
 		dirty = append(dirty, u)
 	}
@@ -481,6 +572,7 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 			}
 		}
 		d.inflight = nil
+		d.seedScratch = dirty[:0]
 		remaining := len(d.dirty)
 		d.lastSweepEnd = time.Now()
 		d.mu.Unlock()
@@ -527,6 +619,7 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	}
 	d.cached = groups
 	d.inflight = nil
+	d.seedScratch = dirty[:0]
 	remaining := len(d.dirty)
 	d.lastFull = true
 	d.detections++

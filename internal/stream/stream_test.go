@@ -235,7 +235,7 @@ func TestZeroClickEventIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.AddClick(1, 1, 0)
-	if d.PendingEvents() != 0 {
+	if d.Events() != 0 {
 		t.Error("zero-click event counted")
 	}
 }

@@ -99,6 +99,8 @@ func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
 	inner.Obs = auditObserver(cfg)
+	inner.NoDelta = cfg.NoDelta
+	inner.CompactFraction = cfg.CompactFraction
 	return &StreamDetector{inner: inner, obs: cfg.Observer, serve: cfg.Serve}, nil
 }
 
@@ -128,6 +130,8 @@ func openDurableStreamDetector(initial *Graph, cfg Config) (*StreamDetector, err
 	if err != nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
 	}
+	inner.NoDelta = cfg.NoDelta
+	inner.CompactFraction = cfg.CompactFraction
 	return &StreamDetector{
 		inner: inner,
 		obs:   cfg.Observer,
