@@ -1,0 +1,263 @@
+// Machine-readable export of the verdict-cache benchmark panel: running
+//
+//	go test -run TestWriteBenchCacheJSON -benchjsoncache BENCH_cache.json
+//
+// measures what the cross-sweep component verdict cache buys on the
+// long-history/small-delta regime it targets, and what it costs when it
+// cannot help, and writes the results — plus hit rates and the no-cache
+// speedup ratios — as JSON, the same panel format as BENCH_stream.json.
+// The workload is many disjoint dense attack blocks (complete bipartite,
+// every edge at or above TClick, per-block weights distinct so every block
+// fingerprints uniquely), so per-component square pruning dominates the
+// detection and the linear phases (graph patch, global prune, component
+// split, fingerprinting) are the small print. Two regimes:
+//
+//   - resweep: a streaming detector over the full block history ingests a
+//     one-user delta and takes a full re-detection (FullDetect — the
+//     verdict-refresh loop; ordinary Sweeps are already bounded to the
+//     dirty region and never re-detect clean components). Cached mode
+//     replays every untouched block's verdict from its fingerprint and
+//     live-detects only the dirty one; no-cache re-prunes and re-extracts
+//     all of them. The speedup is the headline number (floor: ≥ 5×).
+//   - full-detect: batch Detect over the same graph through the facade.
+//     warm-cache is the cmd/serve resweep regime (unchanged graph, every
+//     component replays); cold-cache purges the cache every iteration, so
+//     each run pays fingerprint+store for every component and replays
+//     nothing — the pure overhead bound, which must sit at parity with
+//     no-cache (~1×, ≤ 2%).
+package fakeclick_test
+
+import (
+	"flag"
+	"testing"
+
+	fakeclick "repro"
+	"repro/internal/clicktable"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+var benchCacheJSONPath = flag.String("benchjsoncache", "", "write the verdict-cache benchmark panel to this JSON file")
+
+// cacheBenchResult is one row of BENCH_cache.json. Speedup is the matching
+// no-cache row's ns/op divided by this row's ns/op (>1 means the cache
+// beats live detection on that workload); HitRate is cache hits over
+// lookups during the timed loop (0 for no-cache rows).
+type cacheBenchResult struct {
+	Name        string  `json:"name"`
+	Blocks      int     `json:"blocks"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Speedup     float64 `json:"speedup_vs_no_cache"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+// The cache bench marketplace: disjoint complete-bipartite attack blocks,
+// many users hammering few targets — the crowd-worker shape. Square
+// pruning visits every user's two-hop neighborhood (users × degree ×
+// item-degree per block), so tall blocks make the per-component work
+// dominate the per-edge linear phases the cache cannot skip. Block weights
+// are TClick+blk — distinct, so no two blocks share a fingerprint (equal
+// blocks would replay each other's verdicts and flatter the cold rows).
+const (
+	cacheBenchBlocks     = 24
+	cacheBenchBlockUsers = 600
+	cacheBenchBlockItems = 16
+)
+
+// cacheBenchParams pins THot above any item's total clicks: hot-set
+// membership is not what this panel measures, and explicit thresholds keep
+// the stream and facade rows resolving identical parameters (and so
+// identical fingerprints).
+func cacheBenchParams() core.Params {
+	p := core.DefaultParams()
+	p.THot = 1 << 20
+	return p
+}
+
+// cacheBenchHistory lays out the block history as one big batch.
+func cacheBenchHistory() []clicktable.Record {
+	w := core.DefaultParams().TClick
+	recs := make([]clicktable.Record, 0, cacheBenchBlocks*cacheBenchBlockUsers*cacheBenchBlockItems)
+	for blk := 0; blk < cacheBenchBlocks; blk++ {
+		for u := 0; u < cacheBenchBlockUsers; u++ {
+			for i := 0; i < cacheBenchBlockItems; i++ {
+				recs = append(recs, clicktable.Record{
+					UserID: uint32(blk*cacheBenchBlockUsers + u),
+					ItemID: uint32(blk*cacheBenchBlockItems + i),
+					Clicks: w + uint32(blk),
+				})
+			}
+		}
+	}
+	return recs
+}
+
+// newCacheBenchDetector builds a primed streaming detector: history
+// ingested and one full detection taken, so the timed loop measures
+// steady-state re-detections only (for cached mode the priming detection
+// also populates the cache — a full detect consults and stores on miss).
+func newCacheBenchDetector(b *testing.B, noCache bool) *stream.Detector {
+	b.Helper()
+	d, err := stream.New(nil, cacheBenchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.NoCache = noCache
+	d.AddBatch(cacheBenchHistory())
+	if _, err := d.FullDetect(); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// resweepBench measures one steady-state verdict refresh — ingest a
+// one-user delta into block 0, fully re-detect the whole graph — with
+// hitRate (nil allowed) receiving the cache hit rate over the timed loop.
+func resweepBench(noCache bool, hitRate *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		d := newCacheBenchDetector(b, noCache)
+		before := d.CacheStats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.AddClick(0, 0, 1)
+			if _, err := d.FullDetect(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if hitRate != nil {
+			s := d.CacheStats()
+			hits := float64(s.Hits - before.Hits)
+			if lookups := hits + float64(s.Misses-before.Misses); lookups > 0 {
+				*hitRate = hits / lookups
+			}
+		}
+	}
+}
+
+// BenchmarkResweepDetectCached and BenchmarkResweepDetectNoCache are the
+// CI bench-smoke pair: the same steady-state verdict refresh
+// TestWriteBenchCacheJSON measures, cached against the live oracle.
+func BenchmarkResweepDetectCached(b *testing.B)  { resweepBench(false, nil)(b) }
+func BenchmarkResweepDetectNoCache(b *testing.B) { resweepBench(true, nil)(b) }
+
+// cacheBenchGraph is the same block marketplace as a batch facade graph.
+func cacheBenchGraph() *fakeclick.Graph {
+	g := fakeclick.NewGraph()
+	for _, r := range cacheBenchHistory() {
+		g.AddClicks(r.UserID, r.ItemID, r.Clicks)
+	}
+	return g
+}
+
+// fullDetectCacheBench measures batch Detect over an unchanged graph in one
+// of three cache regimes: "none" (NoCache oracle), "cold" (cache purged
+// every iteration — pays fingerprint+store, replays nothing) and "warm"
+// (cache primed and shared — every component replays).
+func fullDetectCacheBench(regime string, hitRate *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		g := cacheBenchGraph()
+		p := cacheBenchParams()
+		cfg := fakeclick.DefaultConfig()
+		cfg.THot = p.THot
+		cfg.TClick = p.TClick
+		var cache *fakeclick.VerdictCache
+		switch regime {
+		case "none":
+			cfg.NoCache = true
+		case "cold", "warm":
+			cache = fakeclick.NewVerdictCache(0)
+			cfg.Cache = cache
+		}
+		if regime == "warm" {
+			if _, err := fakeclick.Detect(g, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var before core.CacheStats
+		if cache != nil {
+			before = cache.Stats()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if regime == "cold" {
+				cache.Purge()
+			}
+			if _, err := fakeclick.Detect(g, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if hitRate != nil && cache != nil {
+			s := cache.Stats()
+			hits := float64(s.Hits - before.Hits)
+			if lookups := hits + float64(s.Misses-before.Misses); lookups > 0 {
+				*hitRate = hits / lookups
+			}
+		}
+	}
+}
+
+// TestWriteBenchCacheJSON runs both regimes and writes -benchjsoncache. It
+// is a no-op (skipped) unless the flag is set.
+func TestWriteBenchCacheJSON(t *testing.T) {
+	if *benchCacheJSONPath == "" {
+		t.Skip("set -benchjsoncache <path> to emit the verdict-cache benchmark panel")
+	}
+	var out struct {
+		Note    string             `json:"note"`
+		Results []cacheBenchResult `json:"results"`
+	}
+	out.Note = "generated by `go test -run TestWriteBenchCacheJSON -benchjsoncache`; " +
+		"speedup_vs_no_cache = matching no-cache ns/op ÷ row ns/op. resweep is the " +
+		"long-history/small-delta regime the verdict cache targets (floor: ≥ 5×); " +
+		"full-detect/cold-cache is the guard regime where the cache cannot help and its " +
+		"fingerprint+store overhead must sit at parity with no-cache (~1×, ≤ 2%); " +
+		"full-detect/warm-cache is the cmd/serve resweep regime (unchanged graph)."
+	// Best of two runs per row: the guard rows' ~1× parity is the signal,
+	// and ms-scale ops on a shared runner see several percent of noise.
+	best := func(fn func(*testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(fn)
+		if r2 := testing.Benchmark(fn); float64(r2.T.Nanoseconds())/float64(r2.N) < float64(r.T.Nanoseconds())/float64(r.N) {
+			r = r2
+		}
+		return r
+	}
+	add := func(name string, r testing.BenchmarkResult, baselineNs, hitRate float64) float64 {
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		speedup := baselineNs / ns
+		if baselineNs == 0 {
+			speedup = 1 // this row IS the baseline
+		}
+		out.Results = append(out.Results, cacheBenchResult{
+			Name:        name,
+			Blocks:      cacheBenchBlocks,
+			Iterations:  r.N,
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Speedup:     speedup,
+			HitRate:     hitRate,
+		})
+		t.Logf("%-28s %d iters, %.0f ns/op, %.2fx vs no-cache, %.0f%% hits", name, r.N, ns, speedup, hitRate*100)
+		return ns
+	}
+
+	var hitRate float64
+	oracleNs := add("resweep/no-cache", best(resweepBench(true, nil)), 0, 0)
+	cachedNs := add("resweep/cached", best(resweepBench(false, &hitRate)), oracleNs, hitRate)
+	if speedup := oracleNs / cachedNs; speedup < 5 {
+		t.Errorf("resweep cached speedup %.2fx below the 5x acceptance floor", speedup)
+	}
+
+	fullNs := add("full-detect/no-cache", best(fullDetectCacheBench("none", nil)), 0, 0)
+	add("full-detect/cold-cache", best(fullDetectCacheBench("cold", &hitRate)), fullNs, hitRate)
+	add("full-detect/warm-cache", best(fullDetectCacheBench("warm", &hitRate)), fullNs, hitRate)
+
+	writeBenchJSON(t, *benchCacheJSONPath, &out)
+}

@@ -10,7 +10,6 @@ package fakeclick_test
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"testing"
 	"time"
@@ -171,12 +170,5 @@ func TestWriteBenchDurableJSON(t *testing.T) {
 		})
 		t.Logf("%-24s %d iters, %.0f ns/op", p.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
 	}
-	data, err := json.MarshalIndent(&out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := durable.WriteFileAtomic(*benchDurableJSONPath, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %s", *benchDurableJSONPath)
+	writeBenchJSON(t, *benchDurableJSONPath, &out)
 }

@@ -1,0 +1,26 @@
+// Shared tail of every -benchjson* panel writer: marshal the panel struct
+// and land it atomically (write-to-temp + rename via durable.WriteFileAtomic),
+// so a panel interrupted mid-write — a CI job killed on timeout — can never
+// leave a torn half-JSON file where tooling expects a previous good one.
+package fakeclick_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// writeBenchJSON serializes v (a bench panel with Note/NumCPU/Results) as
+// indented JSON with a trailing newline and writes it atomically to path.
+func writeBenchJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -22,7 +22,6 @@
 package fakeclick_test
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"runtime"
@@ -30,7 +29,6 @@ import (
 
 	"repro/internal/clicktable"
 	"repro/internal/core"
-	"repro/internal/durable"
 	"repro/internal/stream"
 )
 
@@ -210,12 +208,5 @@ func TestWriteBenchStreamJSON(t *testing.T) {
 			}
 		}
 	}
-	data, err := json.MarshalIndent(&out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := durable.WriteFileAtomic(*benchStreamJSONPath, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %s", *benchStreamJSONPath)
+	writeBenchJSON(t, *benchStreamJSONPath, &out)
 }

@@ -8,7 +8,7 @@
 //	synthgen -out clicks.csv -labels labels.csv -events events.csv
 //	stream -events events.csv [-thot 1000] [-tclick 12] [-labels labels.csv]
 //	       [-wal-dir state/] [-snapshot-every 5000] [-fsync]
-//	       [-no-delta] [-compact-fraction 0.5]
+//	       [-no-delta] [-no-cache] [-compact-fraction 0.5]
 //	       [-buffer 4096] [-shed-policy block|oldest|newest]
 //	       [-serve-addr :8080] [-serve-inflight 256]
 //	       [-timeout 1m] [-trace out.json] [-trace-tree] [-audit out.jsonl]
@@ -40,6 +40,10 @@
 // -compact-fraction of the aggregated base. -no-delta pins the historical
 // rebuild-from-full-history path; output is byte-identical either way, so
 // the flag is the equivalence oracle (and escape hatch), like -no-frontier.
+// Detection itself is incremental too: components of the click graph left
+// untouched by a sweep's delta replay their cached verdict instead of
+// being re-pruned and re-screened; -no-cache pins the cache-free path
+// (again byte-identical output — the third equivalence oracle).
 //
 // -buffer inserts a bounded pending-click queue between the reader and
 // the detector; when it fills, -shed-policy decides between backpressure
@@ -120,6 +124,7 @@ func run() int {
 		workers    = flag.Int("workers", 0, "worker goroutines for the sharded sweep pipeline (0 = GOMAXPROCS)")
 		noFront    = flag.Bool("no-frontier", false, "rescan every live vertex each pruning round instead of the dirty frontier (identical output)")
 		noDelta    = flag.Bool("no-delta", false, "rebuild the sweep graph from the full click history instead of patching the delta (identical output)")
+		noCache    = flag.Bool("no-cache", false, "re-detect every component each sweep instead of replaying cached verdicts for clean ones (identical output)")
 		compactFr  = flag.Float64("compact-fraction", 0, "full-rebuild compaction once pending clicks exceed this fraction of the aggregated base (0 = default 0.5)")
 	)
 	flag.Parse()
@@ -221,6 +226,7 @@ func run() int {
 	// Graph-maintenance policy, before the first sweep (the detector pins
 	// both at first use).
 	det.NoDelta = *noDelta
+	det.NoCache = *noCache
 	det.CompactFraction = *compactFr
 
 	// Online verdict serving: every committed sweep compiles the sweep's

@@ -146,6 +146,25 @@ type Config struct {
 	// them in with a full rebuild instead of patching. 0 means the default
 	// (0.5); ignored under NoDelta. Batch Detect ignores it.
 	CompactFraction float64
+	// NoCache disables the cross-sweep component verdict cache: every
+	// sweep re-prunes, re-extracts and re-screens every component live.
+	// Output is identical either way (the cached path is validated against
+	// the cache-free one group-for-group and epoch-for-epoch); NoCache
+	// exists as the oracle switch for that validation, mirroring Serial,
+	// NoFrontier and NoDelta.
+	NoCache bool
+	// CacheBytes bounds the verdict cache's memory (0 = 32 MiB). Entries
+	// beyond the bound are evicted oldest-sweep-first.
+	CacheBytes int64
+	// Cache, when non-nil, is a verdict cache shared across batch
+	// Detect/DetectContext calls (construct with NewVerdictCache): repeated
+	// detections over a slowly changing graph — the resweep loop of
+	// cmd/serve — skip every component whose subgraph is unchanged since
+	// the previous run. A StreamDetector ignores it and owns a private
+	// cache instead (disable with NoCache, bound with CacheBytes). Ignored
+	// when NoCache is set or Audit is attached (the audit trail needs the
+	// full decision replay).
+	Cache *VerdictCache
 	// Observer, when non-nil, receives the run's stage trace (per-phase
 	// spans mirroring the paper's Fig 8b split) and pipeline metrics; the
 	// trace is echoed on Report.Trace. Construct one with
@@ -207,6 +226,16 @@ type VerdictIndex = serve.Index
 // the next epoch; concurrent readers are lock-free and never observe a
 // half-built index (Config.Serve).
 type VerdictStore = serve.Store
+
+// VerdictCache is the cross-sweep component verdict cache (Config.Cache):
+// a bounded, oldest-sweep-evicted map from component fingerprint to cached
+// per-component detection outcome. Safe for concurrent use; see DESIGN.md
+// §15 for the fingerprint soundness argument.
+type VerdictCache = core.VerdictCache
+
+// NewVerdictCache constructs a verdict cache bounded to maxBytes of cached
+// verdict data (≤ 0 means the 32 MiB default) for Config.Cache.
+func NewVerdictCache(maxBytes int64) *VerdictCache { return core.NewVerdictCache(maxBytes) }
 
 // NewVerdictStore returns an empty verdict store for Config.Serve. The
 // observer (nil allowed) receives serve.* swap metrics and one audit
@@ -480,6 +509,9 @@ func resolveParams(bg *bipartite.Graph, cfg Config) (core.Params, error) {
 	params.Workers = cfg.Workers
 	params.NoShard = cfg.Serial
 	params.NoFrontier = cfg.NoFrontier
+	if cfg.Cache != nil && !cfg.NoCache {
+		params.Cache = cfg.Cache
+	}
 	if cfg.THot != 0 || cfg.TClick != 0 {
 		params.THot = cfg.THot
 		params.TClick = cfg.TClick

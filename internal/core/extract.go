@@ -145,20 +145,38 @@ func NearBicliqueExtractObserved(work *bipartite.Graph, p Params, sp *obs.Span, 
 // cancellation: pruning checks ctx every round, and the component split is
 // guarded by the "core.extract" checkpoint. A cancelled call returns no
 // groups (a half-pruned residual would report organic users as attackers)
-// together with ctx's error.
+// together with ctx's error. With p.Cache set on the sharded path the
+// component verdict cache serves unchanged components in raw (unscreened)
+// mode; output is identical either way.
 func NearBicliqueExtractCtx(ctx context.Context, work *bipartite.Graph, p Params,
 	sp *obs.Span, o *obs.Observer) ([]detect.Group, error) {
+
+	groups, _, _, err := NearBicliqueExtractCachedCtx(ctx, work, nil, p, sp, o)
+	return groups, err
+}
+
+// NearBicliqueExtractCachedCtx is NearBicliqueExtractCtx plus the cached
+// screening path: with p.Cache set, the sharded orchestration active and
+// hot non-nil (the marketplace-wide HotSet of the input graph), the
+// VariantFull screening passes run per component inside the shards, so
+// cache hits skip screening as well as pruning and extraction. It returns
+// the raw candidates plus, when per-shard screening actually ran
+// (screenedOK), the fully screened groups — byte-identical to running
+// ScreenGroupsCtx over the raw candidates. screenedOK is false whenever the
+// cache was bypassed (serial path, no cache, or an audit sink demanding the
+// full decision trail); callers must then screen raw globally as usual.
+func NearBicliqueExtractCachedCtx(ctx context.Context, work *bipartite.Graph, hot *HotSet,
+	p Params, sp *obs.Span, o *obs.Observer) (raw, screened []detect.Group, screenedOK bool, err error) {
 
 	sharded := p.sharded()
 	psp := sp.Start("prune")
 	var st PruneStats
-	var groups []detect.Group
-	var err error
+	var outc extractOutcome
 	if sharded {
 		// The sharded orchestration prunes and extracts per component in
 		// one pass, so the groups come back already merged in serial order.
 		psp.Set("mode", "sharded")
-		st, groups, err = shardedPruneExtract(ctx, work, p, psp, o, true)
+		st, outc, err = shardedPruneExtract(ctx, work, p, psp, o, shardOptions{collect: true, hot: hot})
 	} else {
 		st, err = pruneCtxObserved(ctx, work, p, psp, o)
 	}
@@ -171,21 +189,22 @@ func NearBicliqueExtractCtx(ctx context.Context, work *bipartite.Graph, p Params
 	o.Counter("core.prune.items_removed").Add(int64(st.ItemsRemoved))
 	o.Histogram("core.prune").Observe(psp.Duration())
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
 
 	faultinject.Hit("core.extract")
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
 	esp := sp.Start("extract")
+	raw = outc.raw
 	if !sharded {
-		groups = ExtractGroups(work, p)
+		raw = ExtractGroups(work, p)
 	}
-	esp.SetInt("groups", int64(len(groups)))
+	esp.SetInt("groups", int64(len(raw)))
 	esp.SetInt("survivor_users", int64(work.LiveUsers()))
 	esp.SetInt("survivor_items", int64(work.LiveItems()))
 	esp.End()
-	o.Counter("core.extract.groups").Add(int64(len(groups)))
-	return groups, nil
+	o.Counter("core.extract.groups").Add(int64(len(raw)))
+	return raw, outc.screened, outc.screenedOK, nil
 }

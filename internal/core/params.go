@@ -75,6 +75,27 @@ type Params struct {
 	// trades speed for the simplest possible execution. The golden oracle of
 	// the equivalence harness sets NoShard and NoFrontier together.
 	NoFrontier bool
+
+	// Cache, when non-nil, enables the cross-sweep component verdict cache
+	// on the sharded extraction path: compacted components are fingerprinted
+	// after the global core prune and looked up before square-pruning runs,
+	// so components whose CSR, parameters and (in screened mode) hot bits
+	// match a previous sweep replay their cached verdict instead of being
+	// re-detected (DESIGN.md §15). Output is identical with or without the
+	// cache — the fingerprint covers every verdict-affecting input, and the
+	// golden harness pins cached vs cache-free equivalence. The cache is
+	// ignored on the serial (NoShard/SinglePass) path and bypassed whenever
+	// an audit sink is attached (replayed verdicts cannot re-emit the
+	// per-decision audit trail).
+	Cache *VerdictCache
+
+	// CacheTouched is a sorted hint listing the user IDs touched since the
+	// last sweep (the delta's dirty set): components intersecting it are
+	// known-churned, so the sharded path skips hashing and consulting the
+	// cache for them entirely. Purely an optimization — the fingerprint
+	// remains the correctness authority for every component that IS
+	// consulted. Nil means "consult the cache for every component".
+	CacheTouched []bipartite.NodeID
 }
 
 // DefaultParams returns the paper's experiment defaults (Section VI-B):

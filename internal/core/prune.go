@@ -78,7 +78,7 @@ func pruneCtxObserved(ctx context.Context, g *bipartite.Graph, p Params, sp *obs
 		return pruneSinglePass(ctx, g, p, sp, a)
 	}
 	if p.sharded() {
-		st, _, err := shardedPruneExtract(ctx, g, p, sp, o, false)
+		st, _, err := shardedPruneExtract(ctx, g, p, sp, o, shardOptions{})
 		return st, err
 	}
 	return pruneFixpoint(ctx, g, p, sp, o, a)

@@ -187,9 +187,20 @@ func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*dete
 		return degrade("graph_generator", err)
 	}
 
+	// With the verdict cache armed and full screening requested, the
+	// screening passes ride inside the shards (hot handed down), so cached
+	// components skip screening too; screenedOK=false falls back to the
+	// global screening stage below (serial path, or an audit sink bypassing
+	// the cache).
+	var screened []detect.Group
+	var screenedOK bool
 	if err := stage("extraction", func() error {
 		var eerr error
-		groups, eerr = NearBicliqueExtractCtx(ctx, work, p, dsp, o)
+		if p.Cache != nil && d.Variant == VariantFull {
+			groups, screened, screenedOK, eerr = NearBicliqueExtractCachedCtx(ctx, work, hot, p, dsp, o)
+		} else {
+			groups, eerr = NearBicliqueExtractCtx(ctx, work, p, dsp, o)
+		}
 		return eerr
 	}); err != nil {
 		dsp.End()
@@ -212,6 +223,14 @@ func (d *Detector) DetectContext(ctx context.Context, g *bipartite.Graph) (*dete
 			groups = screenUsersOnly(g, groups, hot, p, a)
 			return nil
 		default:
+			if screenedOK {
+				// Per-component screening already ran inside the shards
+				// (verdict-cache mode); adopt its output — byte-identical
+				// to screening the raw candidates globally.
+				ssp.Set("cached", "shards")
+				groups = screened
+				return nil
+			}
 			var serr error
 			groups, serr = ScreenGroupsCtx(ctx, g, groups, hot, p, ssp, o)
 			return serr

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/bipartite"
@@ -227,7 +228,7 @@ func TestFeedbackLoopCancellation(t *testing.T) {
 	if fr.Result.Partial {
 		t.Error("first iteration completed; its result must not be partial")
 	}
-	if fr.Params != p {
+	if !reflect.DeepEqual(fr.Params, p) {
 		t.Errorf("returned params %+v do not match the completed run's %+v", fr.Params, p)
 	}
 }

@@ -36,30 +36,73 @@ import (
 // verdicts too: local IDs are assigned in ascending original-ID order, so
 // every ID-ordered traversal (and the degree-then-ID candidate order of
 // sortByDegree) coincides with the original graph's.
+//
+// Verdict caching (DESIGN.md §15): with p.Cache set, each shard hashes its
+// freshly compacted CSR (componentFingerprint) and consults the cache
+// before pruning. A hit replays the cached removals/groups through the
+// shard's local→original maps; a miss detects live and stores the local
+// outcome. Components intersecting p.CacheTouched (the sweep delta's dirty
+// users) skip the cache entirely — they are known-churned. With opt.hot
+// set, the Fig 5/Fig 6 screening passes and the survivor repartition also
+// run inside the shard against the compact graph, which is sound because
+// screening only ever reads in-group edges (all present in the compact
+// graph with identical weights) and survivors of different shards can share
+// no edge (see screenComponentGroups).
 
 // maxShardSpans caps the per-shard child spans recorded under the prune
 // span, keeping traces bounded when the residual shatters into thousands of
 // tiny components.
 const maxShardSpans = 48
 
+// shardOptions selects what shardedPruneExtract produces beyond the pruned
+// residual.
+type shardOptions struct {
+	// collect extracts candidate groups (the extraction callers); false
+	// prunes only (PruneCtx).
+	collect bool
+	// hot, when non-nil in collect mode with p.Cache set, additionally runs
+	// the VariantFull screening passes per shard so cached components skip
+	// screening too. The HotSet must be the marketplace-wide one computed
+	// on the full input graph.
+	hot *HotSet
+}
+
+// extractOutcome is the collect-mode output of shardedPruneExtract.
+type extractOutcome struct {
+	raw []detect.Group // extracted candidates, serial order
+	// screened/screenedOK carry the per-shard screening output when it ran
+	// (cache active, opt.hot set, no audit sink); when screenedOK is false
+	// the caller must screen raw globally as usual.
+	screened   []detect.Group
+	screenedOK bool
+	cacheHits  int
+	cacheMiss  int
+}
+
 // shardResult is one component's contribution to the merged outcome.
 type shardResult struct {
 	removedU []bipartite.NodeID // original IDs pruned inside the shard
 	removedI []bipartite.NodeID
 	groups   []detect.Group // extracted groups in original IDs (collect mode)
+	screened []detect.Group // per-shard screened groups (screening mode)
 	rounds   int            // local fixpoint rounds
 	elapsed  time.Duration
 	done     bool  // shard ran (possibly cut short by ctx with err set)
 	err      error // ctx error observed mid-shard
 	panicked any   // recovered panic, rethrown on the caller's goroutine
+
+	cacheHit   bool // verdict replayed from the cache
+	cacheMiss  bool // cache consulted, no entry (stored after live run)
+	cacheFault bool // poisoned lookup (fault site core.cache), ran live
+	evicted    int  // entries evicted by this shard's store
 }
 
 // shardedPruneExtract runs Algorithm 3 sharded by connected component:
 // global CorePruning fixpoint → component split → per-shard compaction +
-// local Core/Square fixpoint (+ group extraction when collect is true) on a
-// bounded worker pool → deterministic merge. g is left at the same residual
-// the serial path produces; the returned stats and groups are identical to
-// the serial path's (see shardequiv_test.go).
+// local Core/Square fixpoint (+ group extraction and optionally screening
+// when opt says so) on a bounded worker pool → deterministic merge. g is
+// left at the same residual the serial path produces; the returned stats
+// and groups are identical to the serial path's (see shardequiv_test.go).
 //
 // Cancellation: ctx is checked at entry (fault-injection site
 // "core.prune.round", matching the serial loop), before each shard
@@ -69,13 +112,31 @@ type shardResult struct {
 // sound over-approximation, exactly like a serial mid-prune graph. On
 // cancellation no groups are returned.
 func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
-	sp *obs.Span, o *obs.Observer, collect bool) (PruneStats, []detect.Group, error) {
+	sp *obs.Span, o *obs.Observer, opt shardOptions) (PruneStats, extractOutcome, error) {
 
 	var st PruneStats
+	var outc extractOutcome
 	a := newAuditor(o)
+	cache := p.Cache
+	if !opt.collect || a != nil {
+		// The cache replays verdicts without re-running the per-decision
+		// passes, so it cannot re-emit the audit trail's removal and
+		// screening events; with a sink attached the trail's completeness
+		// wins and the cache is bypassed. Prune-only callers don't produce
+		// groups, so caching them is not worth an entry.
+		cache = nil
+	}
+	screening := opt.hot != nil && cache != nil
+	hot := opt.hot
+	if !screening {
+		hot = nil
+	}
+	if cache != nil {
+		cache.BeginEpoch()
+	}
 	faultinject.Hit("core.prune.round")
 	if err := ctx.Err(); err != nil {
-		return st, nil, err
+		return st, outc, err
 	}
 	st.Rounds = 1
 	csp := sp.Start("global_core")
@@ -92,7 +153,8 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 	plan.End()
 	o.Counter("core.shards").Add(int64(len(comps)))
 	if len(comps) == 0 {
-		return st, nil, nil
+		outc.screenedOK = screening
+		return st, outc, nil
 	}
 
 	// Worker budget: one pool worker per shard up to p.workers(); when there
@@ -132,7 +194,8 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 				if i < maxShardSpans {
 					ssp = sp.Start("shard")
 				}
-				outs[i] = runShard(ctx, g, comps[i], p, inner[i], ssp, o, a, i+1, collect)
+				outs[i] = runShard(ctx, g, comps[i], p, inner[i], ssp, o, a, i+1,
+					opt.collect, cache, hot)
 			}
 		}()
 	}
@@ -143,6 +206,7 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 	// as a panic through PruneCtx / the DetectContext stage isolation)
 	// holds unchanged.
 	maxRounds := 0
+	evicted, faults := 0, 0
 	var firstErr error
 	for i := range outs {
 		out := &outs[i]
@@ -166,6 +230,16 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 		if out.err != nil && firstErr == nil {
 			firstErr = out.err
 		}
+		if out.cacheHit {
+			outc.cacheHits++
+		}
+		if out.cacheMiss {
+			outc.cacheMiss++
+		}
+		if out.cacheFault {
+			faults++
+		}
+		evicted += out.evicted
 		o.Histogram("core.shard").Observe(out.elapsed)
 	}
 	// Serial round r removes each component's round-r square victims, and a
@@ -174,28 +248,52 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 	if maxRounds > st.Rounds {
 		st.Rounds = maxRounds
 	}
+	if cache != nil {
+		o.Counter("core.cache.hit").Add(int64(outc.cacheHits))
+		o.Counter("core.cache.miss").Add(int64(outc.cacheMiss))
+		o.Counter("core.cache.evict").Add(int64(evicted))
+		o.Counter("core.cache.fault").Add(int64(faults))
+		o.Gauge("core.cache.bytes").Set(cache.Bytes())
+		sp.SetInt("cache_hits", int64(outc.cacheHits))
+		sp.SetInt("cache_misses", int64(outc.cacheMiss))
+	}
 	if err := ctx.Err(); err != nil {
-		return st, nil, err
+		return st, extractOutcome{}, err
 	}
 	if firstErr != nil {
-		return st, nil, firstErr
+		return st, extractOutcome{}, firstErr
 	}
 
-	if !collect {
-		return st, nil, nil
+	if !opt.collect {
+		return st, outc, nil
 	}
-	var groups []detect.Group
 	for i := range outs {
-		groups = append(groups, outs[i].groups...)
+		outc.raw = append(outc.raw, outs[i].groups...)
 	}
-	// Canonical merge order = the serial ExtractGroups order: ascending
-	// minimum user ID (Users is sorted, so Users[0] is the minimum), then a
-	// stable sort by group size descending.
+	sortGroupsCanonical(outc.raw)
+	if screening {
+		for i := range outs {
+			outc.screened = append(outc.screened, outs[i].screened...)
+		}
+		// The global repartition's output order is the same
+		// ConnectedComponents order the extraction merge reproduces
+		// (discovery ascending by minimum user, then stable size-descending),
+		// so the identical two-key sort canonicalizes the screened merge.
+		sortGroupsCanonical(outc.screened)
+		outc.screenedOK = true
+	}
+	return st, outc, nil
+}
+
+// sortGroupsCanonical orders groups the way the serial
+// ExtractGroups/repartition paths do: ascending minimum user ID (Users is
+// sorted, so Users[0] is the minimum), then a stable sort by group size
+// descending.
+func sortGroupsCanonical(groups []detect.Group) {
 	sort.SliceStable(groups, func(i, j int) bool { return groups[i].Users[0] < groups[j].Users[0] })
 	sort.SliceStable(groups, func(i, j int) bool {
 		return len(groups[i].Users)+len(groups[i].Items) > len(groups[j].Users)+len(groups[j].Items)
 	})
-	return st, groups, nil
 }
 
 // runShard prunes one compacted component to its local fixpoint and, in
@@ -205,12 +303,17 @@ func shardedPruneExtract(ctx context.Context, g *bipartite.Graph, p Params,
 // panic is recovered into the result for deterministic rethrow by the
 // merger.
 //
+// With cache non-nil the shard consults/feeds the verdict cache (unless the
+// component intersects p.CacheTouched); with hot non-nil it additionally
+// screens its own groups against the compact graph. The two always arrive
+// together with hot ⊆ cache-enabled (shardedPruneExtract gates them).
+//
 // Audit events emitted inside the shard carry the 1-based shard index and
 // original-graph IDs (via the auditor's local→original maps); rounds are
 // shard-local. A shard.done boundary event closes each completed shard.
 func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
 	p Params, innerWorkers int, ssp *obs.Span, o *obs.Observer, a *auditor,
-	shardIdx int, collect bool) (out shardResult) {
+	shardIdx int, collect bool, cache *VerdictCache, hot *HotSet) (out shardResult) {
 
 	start := time.Now()
 	defer func() {
@@ -233,18 +336,65 @@ func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
 	}
 
 	cg, userOf, itemOf := bipartite.CompactComponent(g, comp)
+	var localHot []bool
+	if hot != nil {
+		localHot = make([]bool, len(itemOf))
+		for lv, v := range itemOf {
+			localHot[lv] = hot.IsHot(v)
+		}
+	}
+	// Components the sweep's delta touched are known-churned: skip both the
+	// lookup (it would miss) and the store (the entry would be invalidated
+	// by the very next click). The fingerprint stays the correctness
+	// authority for every component that IS consulted.
+	useCache := cache != nil && !intersectsSorted(comp.Users, p.CacheTouched)
+	var fp fingerprint
+	if useCache {
+		fp = componentFingerprint(cg, localHot, p)
+		if ferr := faultinject.ErrAt("core.cache"); ferr != nil {
+			// Poisoned lookup: fall back to live detection (and restore the
+			// entry below); the sweep's verdicts must not depend on cache
+			// health.
+			out.cacheFault = true
+			cache.noteFault()
+		} else if e, ok := cache.lookup(fp); ok && e.screenedOK == (hot != nil) {
+			out.rounds = e.rounds
+			out.removedU = mapIDs(e.removedU, userOf)
+			out.removedI = mapIDs(e.removedI, itemOf)
+			if collect {
+				out.groups = translateGroups(e.raw, userOf, itemOf)
+				if hot != nil {
+					out.screened = translateGroups(e.screened, userOf, itemOf)
+				}
+			}
+			out.done = true
+			out.cacheHit = true
+			ssp.Set("cache", "hit")
+			return
+		} else {
+			out.cacheMiss = true
+		}
+	}
+
 	lp := p
 	lp.Workers = innerWorkers
 	lst, err := pruneFixpoint(ctx, cg, lp, ssp, o, a.forShard(shardIdx, userOf, itemOf))
 	out.rounds = lst.Rounds
+	var locRemU, locRemI []bipartite.NodeID
 	for lu := 0; lu < cg.NumUsers(); lu++ {
 		if !cg.UserAlive(bipartite.NodeID(lu)) {
 			out.removedU = append(out.removedU, userOf[lu])
+			if useCache {
+				locRemU = append(locRemU, bipartite.NodeID(lu))
+			}
 		}
 	}
 	for lv := 0; lv < cg.NumItems(); lv++ {
 		if !cg.ItemAlive(bipartite.NodeID(lv)) {
 			out.removedI = append(out.removedI, itemOf[lv])
+			if useCache {
+				locRemI = append(locRemI, bipartite.NodeID(lv))
+			}
 		}
 	}
 	out.done = true
@@ -254,17 +404,118 @@ func runShard(ctx context.Context, g *bipartite.Graph, comp bipartite.Component,
 	}
 	a.shardDone(shardIdx, len(comp.Users), len(comp.Items), out.rounds,
 		len(out.removedU)+len(out.removedI))
-	if collect {
-		for _, c := range bipartite.ConnectedComponents(cg) {
+	if !collect {
+		return
+	}
+	var locals []localGroup
+	for _, c := range bipartite.ConnectedComponents(cg) {
+		if len(c.Users) >= p.K1 && len(c.Items) >= p.K2 {
+			locals = append(locals, localGroup{Users: c.Users, Items: c.Items})
+		}
+	}
+	out.groups = translateGroups(locals, userOf, itemOf)
+	var screenedLocals []localGroup
+	if hot != nil {
+		lh := &HotSet{hot: localHot, tHot: p.THot}
+		screenedLocals = screenComponentGroups(cg, locals, lh, p)
+		out.screened = translateGroups(screenedLocals, userOf, itemOf)
+	}
+	if useCache {
+		out.evicted = cache.store(fp, &cacheEntry{
+			rounds:     out.rounds,
+			removedU:   locRemU,
+			removedI:   locRemI,
+			raw:        locals,
+			screened:   screenedLocals,
+			screenedOK: hot != nil,
+		})
+	}
+	return
+}
+
+// screenComponentGroups runs the Fig 5/Fig 6 screening passes and the
+// survivor repartition for one shard's candidate groups, entirely against
+// the compact component graph. This matches the global
+// ScreenGroupsCtx-over-the-original-graph output exactly:
+//
+//   - every read the behavior checks perform is filtered to in-group
+//     edges, and an in-group edge (both endpoints in the component) exists
+//     in the compact graph with an identical weight;
+//   - hotness comes in through the component-local hot bits, mapped from
+//     the marketplace-wide HotSet;
+//   - the global repartition can never merge survivors of different
+//     extraction components: pruning removes vertices, not edges, so an
+//     original-graph edge between two surviving vertices also survives in
+//     the residual, putting its endpoints in the same residual component —
+//     i.e. the same raw group. Cross-group edges therefore cannot exist,
+//     and repartitioning each raw group on its own is the identity
+//     decomposition of the global repartition.
+//
+// The no-drop fast path is the satellite fix for recomputing
+// ConnectedComponents per screening pass: when screening kept every member
+// of a raw group, that group is still exactly the connected residual
+// component extraction found, so the component split is reused instead of
+// re-deriving it from an induced subgraph.
+func screenComponentGroups(cg *bipartite.Graph, locals []localGroup, lh *HotSet, p Params) []localGroup {
+	var out []localGroup
+	for _, grp := range locals {
+		// Same fault-injection surface as the global screening loops: a
+		// fault armed on "core.screen.group" fires here too (a panic is
+		// recovered into the shard result and rethrown at merge, exactly
+		// like a pruning-stage panic).
+		faultinject.Hit("core.screen.group")
+		users, items := screenOne(cg, detect.Group{Users: grp.Users, Items: grp.Items}, lh, p, nil, 0)
+		if len(users) == 0 || len(items) == 0 {
+			continue
+		}
+		if len(users) == len(grp.Users) && len(items) == len(grp.Items) {
+			out = append(out, localGroup{Users: users, Items: items})
+			continue
+		}
+		sub, err := bipartite.InducedSubgraph(cg, users, items)
+		if err != nil {
+			// IDs came from cg itself; out-of-range is impossible.
+			panic("core: screening produced invalid IDs: " + err.Error())
+		}
+		for _, c := range bipartite.ConnectedComponents(sub) {
 			if len(c.Users) >= p.K1 && len(c.Items) >= p.K2 {
-				out.groups = append(out.groups, detect.Group{
-					Users: mapIDs(c.Users, userOf),
-					Items: mapIDs(c.Items, itemOf),
-				})
+				out = append(out, localGroup{Users: c.Users, Items: c.Items})
 			}
 		}
 	}
-	return
+	return out
+}
+
+// translateGroups maps component-local groups back to original IDs through
+// the shard's userOf/itemOf tables, allocating fresh slices so cache
+// entries stay immutable across hits.
+func translateGroups(locals []localGroup, userOf, itemOf []bipartite.NodeID) []detect.Group {
+	if len(locals) == 0 {
+		return nil
+	}
+	out := make([]detect.Group, len(locals))
+	for i, l := range locals {
+		out[i] = detect.Group{Users: mapIDs(l.Users, userOf), Items: mapIDs(l.Items, itemOf)}
+	}
+	return out
+}
+
+// intersectsSorted reports whether the two ascending NodeID slices share an
+// element (two-pointer walk; both are sorted — Component.Users by
+// construction, CacheTouched by the stream sweep).
+func intersectsSorted(a, b []bipartite.NodeID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
 }
 
 // mapIDs translates sorted local IDs back to original IDs; the mapping is

@@ -18,38 +18,11 @@ import (
 // same risk scores, same per-group statistics, same pruning stats including
 // Rounds.
 
-// equivCorpus returns the seeded workload corpus. Shapes vary deliberately:
-// marketplace size, attack-group count, near-biclique participation, and
-// campaign-scale crews, so the harness covers many-component residuals,
-// single-component residuals, and empty results.
-func equivCorpus() []synth.Config {
-	var cfgs []synth.Config
-	// Small marketplaces (2k users, 400 items) with varied attack shapes.
-	for seed := int64(1); seed <= 8; seed++ {
-		c := synth.SmallConfig()
-		c.Seed = seed
-		c.Attack.Groups = 2 + int(seed%3)
-		c.Attack.Participation = 0.85 + 0.05*float64(seed%3)
-		cfgs = append(cfgs, c)
-	}
-	// Tiny marketplaces (600 users, 150 items): residuals here shatter into
-	// several small components, and some seeds produce none at all.
-	for seed := int64(100); seed < 112; seed++ {
-		c := synth.SmallConfig()
-		c.Seed = seed
-		c.NumUsers = 600
-		c.NumItems = 150
-		c.Attack.Groups = 2 + int(seed%4)
-		c.Attack.AttackersMin = 10
-		c.Attack.AttackersMax = 14
-		c.Attack.TargetsMin = 10
-		c.Attack.TargetsMax = 12
-		c.Attack.HotPoolSize = 6
-		c.Confusers.GroupBuys = 2
-		cfgs = append(cfgs, c)
-	}
-	return cfgs
-}
+// equivCorpus returns the shared seeded workload corpus
+// (synth.EquivCorpus): varied marketplace sizes, attack-group counts and
+// near-biclique participation, so the harness covers many-component
+// residuals, single-component residuals, and empty results.
+func equivCorpus() []synth.Config { return synth.EquivCorpus() }
 
 // equivParams varies the detection knobs across the corpus so the harness
 // covers α < 1, relaxed size bounds, and the tiny marketplace's hot range.

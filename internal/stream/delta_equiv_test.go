@@ -23,35 +23,11 @@ import (
 // folds in mid-sweep ingestion and crash-recovery replays, so compaction
 // boundaries and WAL replay are corpus members, not special cases.
 
-// deltaEquivCorpus mirrors serveEquivCorpus's shape: varied small
-// marketplaces plus tiny shattered-residual ones, several of which detect
-// nothing (the all-clean stream exercises patching of pure background
-// churn).
-func deltaEquivCorpus() []synth.Config {
-	var cfgs []synth.Config
-	for seed := int64(1); seed <= 8; seed++ {
-		c := synth.SmallConfig()
-		c.Seed = seed
-		c.Attack.Groups = 1 + int(seed%3)
-		c.Attack.Participation = 0.85 + 0.05*float64(seed%3)
-		cfgs = append(cfgs, c)
-	}
-	for seed := int64(100); seed < 112; seed++ {
-		c := synth.SmallConfig()
-		c.Seed = seed
-		c.NumUsers = 600
-		c.NumItems = 150
-		c.Attack.Groups = 2 + int(seed%4)
-		c.Attack.AttackersMin = 10
-		c.Attack.AttackersMax = 14
-		c.Attack.TargetsMin = 10
-		c.Attack.TargetsMax = 12
-		c.Attack.HotPoolSize = 6
-		c.Confusers.GroupBuys = 2
-		cfgs = append(cfgs, c)
-	}
-	return cfgs
-}
+// deltaEquivCorpus is the shared seeded workload corpus
+// (synth.EquivCorpus): varied small marketplaces plus tiny
+// shattered-residual ones, several of which detect nothing (the all-clean
+// stream exercises patching of pure background churn).
+func deltaEquivCorpus() []synth.Config { return synth.EquivCorpus() }
 
 func deltaEquivParams(c synth.Config) core.Params {
 	p := smallParams()

@@ -53,6 +53,18 @@ type Detector struct {
 	// core.Params.NoFrontier. Set before first use; do not flip afterwards.
 	NoDelta bool
 
+	// NoCache disables the cross-sweep component verdict cache (the
+	// equivalence oracle, stream CLI -no-cache): every sweep re-detects
+	// every component live. Output is byte-identical either way — the
+	// cache's fingerprint covers all verdict-affecting inputs (DESIGN.md
+	// §15) and cache_equiv_test.go pins the equivalence. Set before first
+	// use; do not flip afterwards.
+	NoCache bool
+
+	// CacheBytes bounds the verdict cache (0 = core.DefaultCacheBytes).
+	// Set before first use.
+	CacheBytes int64
+
 	// CompactFraction is the delta-maintenance compaction policy: when the
 	// raw rows accumulated since the last compaction exceed this fraction
 	// of the aggregated base table, the next graph build folds them in with
@@ -110,6 +122,13 @@ type Detector struct {
 	// cached are the groups of the last detection, kept for cheap
 	// re-validation.
 	cached []detect.Group
+
+	// cache is the cross-sweep component verdict cache, created lazily by
+	// cacheLocked. It lives across sweeps and is purged on every reset
+	// (Reset/Retune/WAL-replayed resets). It is volatile by design: a
+	// recovered detector starts cold and re-derives byte-identical verdicts
+	// (the fingerprint, not the cache, is the correctness authority).
+	cache *core.VerdictCache
 
 	// durability (all nil/zero for a memory-only detector; see Open)
 	wal       *durable.WAL
@@ -406,6 +425,7 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	d.mu.Lock()
 	g := d.graphLocked()
 	params := d.params
+	params.Cache = d.cacheLocked()
 	full := !d.lastFull
 	snap := d.dirty
 	d.dirty = map[bipartite.NodeID]uint64{}
@@ -431,6 +451,11 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	// iteration order — required for the recovery-equivalence guarantee
 	// (a replayed detector must re-derive byte-identical sweeps).
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	// The sorted dirty set doubles as the verdict cache's touched hint:
+	// components containing a dirty user are known-churned and skip the
+	// cache (shard.go). The slice is not mutated until commit/abort returns
+	// it to scratch, well after detection finishes reading it.
+	params.CacheTouched = dirty
 	if !lastEnd.IsZero() {
 		d.Obs.Gauge("stream.sweep.lag_ms").Set(time.Since(lastEnd).Milliseconds())
 	}
@@ -447,6 +472,13 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	}
 	sp.Set("prune_mode", pruneMode)
 	sp.SetInt("dirty_users", int64(len(dirty)))
+	var cacheBefore core.CacheStats
+	if params.Cache != nil {
+		cacheBefore = params.Cache.Stats()
+		sp.Set("cache", "on")
+	} else {
+		sp.Set("cache", "off")
+	}
 
 	sink := d.Obs.Sink()
 	if sink != nil {
@@ -514,10 +546,22 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 
 		reached = "extraction"
 		var fresh []detect.Group
+		var screened []detect.Group
+		var screenedOK bool
 		if full {
 			work := core.GraphGenerator(g, detect.Seeds{})
 			var eerr error
-			fresh, eerr = core.NearBicliqueExtractCtx(ctx, work, params, sp, d.Obs)
+			if params.Cache != nil && len(cached) == 0 {
+				// A full sweep carries no cached groups (lastFull is only
+				// cleared by New/Reset, which also clear them), so the
+				// candidate set IS the fresh extraction and screening can
+				// ride inside the shards: cache hits skip it entirely.
+				// Incremental sweeps must keep the global screening pass —
+				// fresh and carried-over groups can overlap or connect.
+				fresh, screened, screenedOK, eerr = core.NearBicliqueExtractCachedCtx(ctx, work, hot, params, sp, d.Obs)
+			} else {
+				fresh, eerr = core.NearBicliqueExtractCtx(ctx, work, params, sp, d.Obs)
+			}
 			if eerr != nil {
 				return eerr
 			}
@@ -544,6 +588,14 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 		// validity; screening below re-judges them against current weights
 		// and hotness).
 		reached = "screening"
+		if screenedOK && len(cached) == 0 {
+			ssp := sp.Start("screening")
+			ssp.Set("cached", "shards")
+			ssp.End()
+			groups = screened
+			reached = ""
+			return nil
+		}
 		candidates := append(append([]detect.Group(nil), fresh...), cached...)
 		ssp := sp.Start("screening")
 		var serr error
@@ -560,6 +612,11 @@ func (d *Detector) DetectContext(ctx context.Context) (*detect.Result, error) {
 	res.Elapsed = time.Since(start)
 	res.DetectElapsed = res.Elapsed
 	sp.SetInt("groups", int64(len(groups)))
+	if params.Cache != nil {
+		cs := params.Cache.Stats()
+		sp.SetInt("cache_hits", cs.Hits-cacheBefore.Hits)
+		sp.SetInt("cache_misses", cs.Misses-cacheBefore.Misses)
+	}
 	if err != nil {
 		// Graceful degradation: report what completed, commit nothing. The
 		// snapshotted dirty users merge back into the live set (which may
@@ -691,9 +748,37 @@ func (d *Detector) FullDetectContext(ctx context.Context) (*detect.Result, error
 	d.mu.Lock()
 	g := d.graphLocked()
 	params := d.params
+	// Full detections share the sweep cache (no touched hint: the batch
+	// detector examines the whole current graph, so every unchanged
+	// component is a legitimate hit).
+	params.Cache = d.cacheLocked()
+	params.CacheTouched = nil
 	d.mu.Unlock()
 	det := &core.Detector{Params: params, Obs: d.Obs}
 	return det.DetectContext(ctx, g)
+}
+
+// cacheLocked returns the detector's verdict cache, creating it on first
+// use; nil under NoCache. d.mu must be held.
+func (d *Detector) cacheLocked() *core.VerdictCache {
+	if d.NoCache {
+		return nil
+	}
+	if d.cache == nil {
+		d.cache = core.NewVerdictCache(d.CacheBytes)
+	}
+	return d.cache
+}
+
+// CacheStats reports the verdict cache's lifetime counters (the zero value
+// when the cache is disabled or not yet created).
+func (d *Detector) CacheStats() core.CacheStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cache == nil {
+		return core.CacheStats{}
+	}
+	return d.cache.Stats()
 }
 
 // Reset drops the cached detection state, forcing the next Detect to run
@@ -713,6 +798,13 @@ func (d *Detector) resetLocked() {
 	d.cached = nil
 	d.lastFull = false
 	d.dirty = map[bipartite.NodeID]uint64{}
+	if d.cache != nil {
+		// Invalidate wholesale: Reset/Retune change what a fingerprint's
+		// entry would have been computed under (params may change via
+		// Retune; replayed resets mark state discontinuities), and the
+		// cache is cheap to rebuild — correctness over warmth.
+		d.cache.Purge()
+	}
 }
 
 // logResetLocked advances the record clock and write-ahead-logs a reset.

@@ -23,35 +23,11 @@ import (
 // directly. The Report is the golden oracle; the epoch-swapped index is
 // the thing under test.
 
-// serveEquivCorpus mirrors equivCorpus: small marketplaces with varied
-// attack shapes plus tiny shattered-residual marketplaces, some of which
-// detect nothing at all (the all-clean index is a corpus member, not a
-// special case).
-func serveEquivCorpus() []synth.Config {
-	var cfgs []synth.Config
-	for seed := int64(1); seed <= 8; seed++ {
-		c := synth.SmallConfig()
-		c.Seed = seed
-		c.Attack.Groups = 2 + int(seed%3)
-		c.Attack.Participation = 0.85 + 0.05*float64(seed%3)
-		cfgs = append(cfgs, c)
-	}
-	for seed := int64(100); seed < 112; seed++ {
-		c := synth.SmallConfig()
-		c.Seed = seed
-		c.NumUsers = 600
-		c.NumItems = 150
-		c.Attack.Groups = 2 + int(seed%4)
-		c.Attack.AttackersMin = 10
-		c.Attack.AttackersMax = 14
-		c.Attack.TargetsMin = 10
-		c.Attack.TargetsMax = 12
-		c.Attack.HotPoolSize = 6
-		c.Confusers.GroupBuys = 2
-		cfgs = append(cfgs, c)
-	}
-	return cfgs
-}
+// serveEquivCorpus is the shared seeded workload corpus
+// (synth.EquivCorpus): small marketplaces with varied attack shapes plus
+// tiny shattered-residual marketplaces, some of which detect nothing at
+// all (the all-clean index is a corpus member, not a special case).
+func serveEquivCorpus() []synth.Config { return synth.EquivCorpus() }
 
 // serveEquivConfig mirrors equivParams through the facade Config: α < 1,
 // relaxed size bounds, and the tiny marketplace's hot range.

@@ -94,6 +94,9 @@ func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A stream detector owns its private per-sweep cache (NoCache/CacheBytes);
+	// a shared Config.Cache is a batch-path concern.
+	params.Cache = nil
 	inner, err := stream.New(tbl, params)
 	if err != nil {
 		return nil, fmt.Errorf("fakeclick: %w", err)
@@ -101,6 +104,8 @@ func NewStreamDetector(initial *Graph, cfg Config) (*StreamDetector, error) {
 	inner.Obs = auditObserver(cfg)
 	inner.NoDelta = cfg.NoDelta
 	inner.CompactFraction = cfg.CompactFraction
+	inner.NoCache = cfg.NoCache
+	inner.CacheBytes = cfg.CacheBytes
 	return &StreamDetector{inner: inner, obs: cfg.Observer, serve: cfg.Serve}, nil
 }
 
@@ -116,6 +121,7 @@ func openDurableStreamDetector(initial *Graph, cfg Config) (*StreamDetector, err
 	if err != nil {
 		return nil, err
 	}
+	params.Cache = nil
 	sync := durable.SyncNever
 	if cfg.Durability.Fsync {
 		sync = durable.SyncAlways
@@ -132,6 +138,8 @@ func openDurableStreamDetector(initial *Graph, cfg Config) (*StreamDetector, err
 	}
 	inner.NoDelta = cfg.NoDelta
 	inner.CompactFraction = cfg.CompactFraction
+	inner.NoCache = cfg.NoCache
+	inner.CacheBytes = cfg.CacheBytes
 	return &StreamDetector{
 		inner: inner,
 		obs:   cfg.Observer,
